@@ -1,0 +1,198 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (Section
+// VIII), plus the design-choice ablations DESIGN.md calls out. Every
+// iteration runs the corresponding experiment end-to-end — simulated
+// TeraGrid, appliance, portal, SOAP services — on a time-dilated clock,
+// and reports the headline virtual-time quantity next to the wall-clock
+// cost of regenerating it.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// benchScale trades figure smoothness for benchmark wall time.
+const benchScale = 500
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: benchScale}
+}
+
+// BenchmarkFig6SmallFileInvocation regenerates Figure 6: Web-service
+// execution of a small file; traffic dominated by the credential
+// exchange, periodic poll-induced disk writes.
+func BenchmarkFig6SmallFileInvocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["duration_s"], "virtual_s/op")
+		b.ReportMetric(res.Summary["net_out_total_b"], "grid_bytes/op")
+	}
+}
+
+// BenchmarkFig7LargeFileInvocation regenerates Figure 7: the ~5MB
+// executable whose staging saturates the ~85 KB/s WAN for about a minute.
+func BenchmarkFig7LargeFileInvocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["upload_plateau_s"], "upload_virtual_s/op")
+		b.ReportMetric(res.Summary["upload_rate_kbps"], "upload_KBps")
+	}
+}
+
+// BenchmarkFig8UploadAndGenerate regenerates Figure 8: portal upload over
+// the 1000 Mbit LAN, service generation, and the double disk write.
+func BenchmarkFig8UploadAndGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Summary["duration_s"], "virtual_s/op")
+		b.ReportMetric(res.Summary["disk_write_total_b"], "disk_bytes/op")
+	}
+}
+
+// BenchmarkScalabilityInvokeWAN regenerates the §VIII-D invoke row at
+// concurrency 4: simultaneous stagings contending on the WAN.
+func BenchmarkScalabilityInvokeWAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Scalability(benchOpts(), []int{4}, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].MakespanS, "makespan_virtual_s/op")
+	}
+}
+
+// BenchmarkScalabilityUploadLAN regenerates the §VIII-D upload row at
+// concurrency 4: simultaneous portal uploads on the LAN.
+func BenchmarkScalabilityUploadLAN(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Scalability(benchOpts(), []int{4}, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[1].MakespanS, "makespan_virtual_s/op")
+	}
+}
+
+// BenchmarkManySmallJobs regenerates the §VIII-B observation: many small
+// jobs flow through the middleware efficiently.
+func BenchmarkManySmallJobs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SmallJobs(benchOpts(), 20, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.JobsPerMinute, "jobs_per_virtual_min")
+	}
+}
+
+// BenchmarkAblationDoubleWrite compares the paper's temp-file+DB store
+// path against direct streaming (§VIII-D3).
+func BenchmarkAblationDoubleWrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationDoubleWrite(benchOpts(), 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "double-write", "stock", "disk_write_total_kb", "stock_disk_kb")
+		report(b, res, "double-write", "direct", "disk_write_total_kb", "direct_disk_kb")
+	}
+}
+
+// BenchmarkAblationStagingCache compares per-invocation re-upload against
+// the content-hash staging cache (§VIII-B's suggested improvement).
+func BenchmarkAblationStagingCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationStagingCache(benchOpts(), 512, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "staging-cache", "stock", "net_out_total_kb", "stock_wan_kb")
+		report(b, res, "staging-cache", "cache", "net_out_total_kb", "cache_wan_kb")
+	}
+}
+
+// BenchmarkAblationPolling sweeps the tentative-poll interval.
+func BenchmarkAblationPolling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPolling(benchOpts(),
+			[]time.Duration{3 * time.Second, 30 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "poll-interval", "3s", "poll_disk_write_kb", "poll3s_disk_kb")
+		report(b, res, "poll-interval", "30s", "poll_disk_write_kb", "poll30s_disk_kb")
+	}
+}
+
+// BenchmarkAblationCompression sweeps the database compression cost
+// model (the Fig. 6 decompress CPU peak's knob).
+func BenchmarkAblationCompression(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationCompression(benchOpts(), 2048)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "compression", "fast-8MBps", "upload_cpu_total_s", "fast_cpu_s")
+		report(b, res, "compression", "slow-512KBps", "upload_cpu_total_s", "slow_cpu_s")
+	}
+}
+
+// BenchmarkSchedulerPolicies runs the gridsim policy ablation: the same
+// mixed workload under strict FCFS, aggressive backfill, and
+// conservative backfill with reservations.
+func BenchmarkSchedulerPolicies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Moderate dilation: the workload's walltime slack (5 virtual
+		// seconds) must stay above host scheduling jitter.
+		res, err := experiments.SchedulerPolicies(300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.MakespanS, row.Policy+"_makespan_s")
+		}
+	}
+}
+
+// BenchmarkBaselineJSE regenerates the motivation comparison: raw JSE
+// access versus the SaaS path for the same job over the same WAN.
+func BenchmarkBaselineJSE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.BaselineJSE(benchOpts(), 256)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			switch row.Model {
+			case "jse-direct":
+				b.ReportMetric(row.LatencyS, "direct_virtual_s")
+			case "onserve-saas":
+				b.ReportMetric(row.LatencyS, "saas_virtual_s")
+			}
+		}
+	}
+}
+
+func report(b *testing.B, res *experiments.AblationResult, study, variant, metric, unit string) {
+	for _, row := range res.Rows {
+		if row.Study == study && row.Variant == variant && row.Metric == metric {
+			b.ReportMetric(row.Value, unit)
+			return
+		}
+	}
+	b.Fatalf("missing %s/%s/%s", study, variant, metric)
+}

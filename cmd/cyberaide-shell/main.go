@@ -1,0 +1,275 @@
+// Command cyberaide-shell is the reproduction's take on Cyberaide Shell,
+// the interactive companion the paper names alongside the toolkit
+// ("well-known examples are Cyberaide toolkit and Cyberaide Shell",
+// §III). It drives the Cyberaide agent's SOAP facade on a running
+// appliance: authenticate against MyProxy, stage files, submit JSDL
+// jobs, poll status and collect output — the raw JSE workflow, for users
+// who want the grid rather than the SaaS layer.
+//
+//	cyberaide-shell -appliance http://127.0.0.1:8080
+//	> auth alice s3cret
+//	> sites
+//	> upload ncsa-abe job.gsh
+//	> submit job.gsh ncsa-abe samples=100
+//	> status ncsa-abe:job-000001
+//	> output ncsa-abe:job-000001
+//	> quit
+package main
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/cyberaide"
+	"repro/internal/jsdl"
+	"repro/internal/soap"
+)
+
+func main() {
+	applianceURL := flag.String("appliance", "http://127.0.0.1:8080", "appliance base URL")
+	flag.Parse()
+	sh := &shell{
+		agentURL: *applianceURL + "/services/" + cyberaide.ServiceName,
+		out:      os.Stdout,
+	}
+	fmt.Println("Cyberaide Shell — type 'help' for commands, 'quit' to exit")
+	sh.repl(os.Stdin)
+}
+
+type shell struct {
+	agentURL string
+	client   soap.Client
+	session  string
+	out      io.Writer
+}
+
+func (sh *shell) repl(in io.Reader) {
+	scanner := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(sh.out, "> ")
+		if !scanner.Scan() {
+			fmt.Fprintln(sh.out)
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		if err := sh.dispatch(line); err != nil {
+			fmt.Fprintln(sh.out, "error:", err)
+		}
+	}
+}
+
+// dispatch executes one shell line; exported-style separation keeps it
+// testable without a TTY.
+func (sh *shell) dispatch(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Fprint(sh.out, `commands:
+  auth <user> <passphrase>          MyProxy logon (opens a session)
+  upload <site> <file>              stage a local file to a site
+  replicate <from> <to> <name>      third-party transfer between sites
+  submit <exe> <site> [k=v ...]     submit a job (exe must be staged)
+  status <jobID>                    one status poll
+  output <jobID>                    stdout snapshot
+  cancel <jobID>                    cancel a job
+  usage                             per-site accounting for this identity
+  quit
+`)
+		return nil
+	case "auth":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: auth <user> <passphrase>")
+		}
+		sess, err := sh.call("authenticate",
+			soap.Param{Name: "user", Value: args[0]},
+			soap.Param{Name: "passphrase", Value: args[1]},
+			soap.Param{Name: "lifetimeSeconds", Value: "43200"})
+		if err != nil {
+			return err
+		}
+		sh.session = sess
+		fmt.Fprintln(sh.out, "session", sess)
+		return nil
+	case "usage":
+		if err := sh.needSession(); err != nil {
+			return err
+		}
+		out, err := sh.call("usage", soap.Param{Name: "session", Value: sh.session})
+		if err != nil {
+			return err
+		}
+		var rows []map[string]any
+		if err := json.Unmarshal([]byte(out), &rows); err != nil {
+			return err
+		}
+		if len(rows) == 0 {
+			fmt.Fprintln(sh.out, "no usage recorded yet")
+			return nil
+		}
+		for _, row := range rows {
+			u, _ := row["usage"].(map[string]any)
+			fmt.Fprintf(sh.out, "%-14v jobs=%v cpu_seconds=%.1f\n",
+				row["site"], u["jobs"], toF(u["cpu_seconds"]))
+		}
+		return nil
+	case "upload":
+		if err := sh.needSession(); err != nil {
+			return err
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("usage: upload <site> <file>")
+		}
+		data, err := os.ReadFile(args[1])
+		if err != nil {
+			return err
+		}
+		checksum, err := sh.call("upload",
+			soap.Param{Name: "session", Value: sh.session},
+			soap.Param{Name: "site", Value: args[0]},
+			soap.Param{Name: "name", Value: baseName(args[1])},
+			soap.Param{Name: "dataBase64", Value: base64.StdEncoding.EncodeToString(data)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "staged", baseName(args[1]), "sha256", checksum[:16]+"…")
+		return nil
+	case "replicate":
+		if err := sh.needSession(); err != nil {
+			return err
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("usage: replicate <fromSite> <toSite> <name>")
+		}
+		checksum, err := sh.call("replicate",
+			soap.Param{Name: "session", Value: sh.session},
+			soap.Param{Name: "fromSite", Value: args[0]},
+			soap.Param{Name: "toSite", Value: args[1]},
+			soap.Param{Name: "name", Value: args[2]})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "replicated, sha256", checksum[:16]+"…")
+		return nil
+	case "submit":
+		if err := sh.needSession(); err != nil {
+			return err
+		}
+		if len(args) < 2 {
+			return fmt.Errorf("usage: submit <exe> <site> [k=v ...]")
+		}
+		desc := jsdl.Description{Executable: args[0], Site: args[1], Owner: "set-by-agent"}
+		if len(args) > 2 {
+			desc.Arguments = map[string]string{}
+			for _, kv := range args[2:] {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return fmt.Errorf("bad argument %q, want k=v", kv)
+				}
+				desc.Arguments[k] = v
+			}
+		}
+		doc, err := jsdl.Marshal(&desc)
+		if err != nil {
+			return err
+		}
+		jobID, err := sh.call("submit",
+			soap.Param{Name: "session", Value: sh.session},
+			soap.Param{Name: "jsdl", Value: string(doc)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "job", jobID)
+		return nil
+	case "status":
+		if err := sh.needSession(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: status <jobID>")
+		}
+		stJSON, err := sh.call("status",
+			soap.Param{Name: "session", Value: sh.session},
+			soap.Param{Name: "job", Value: args[0]})
+		if err != nil {
+			return err
+		}
+		var st map[string]any
+		if err := json.Unmarshal([]byte(stJSON), &st); err != nil {
+			return err
+		}
+		fmt.Fprintf(sh.out, "%v on %v: %v %v\n", st["job_id"], st["site"], st["state"], st["message"])
+		return nil
+	case "output":
+		if err := sh.needSession(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: output <jobID>")
+		}
+		out, err := sh.call("output",
+			soap.Param{Name: "session", Value: sh.session},
+			soap.Param{Name: "job", Value: args[0]})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(sh.out, out)
+		if !strings.HasSuffix(out, "\n") {
+			fmt.Fprintln(sh.out)
+		}
+		return nil
+	case "cancel":
+		if err := sh.needSession(); err != nil {
+			return err
+		}
+		if len(args) != 1 {
+			return fmt.Errorf("usage: cancel <jobID>")
+		}
+		state, err := sh.call("cancel",
+			soap.Param{Name: "session", Value: sh.session},
+			soap.Param{Name: "job", Value: args[0]})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sh.out, "job now", state)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func (sh *shell) needSession() error {
+	if sh.session == "" {
+		return fmt.Errorf("authenticate first: auth <user> <passphrase>")
+	}
+	return nil
+}
+
+func (sh *shell) call(op string, params ...soap.Param) (string, error) {
+	return sh.client.Call(sh.agentURL, cyberaide.Namespace, op, params, nil)
+}
+
+// toF coerces a decoded JSON number to float64.
+func toF(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}
+
+func baseName(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,146 @@
+// Command experiments regenerates the paper's evaluation: Figures 6-8,
+// the §VIII-D scalability sweep, the §VIII-B many-small-jobs check, and
+// the design-choice ablations. Each experiment prints an ASCII rendering
+// of the figure and writes the raw series as CSV under -out.
+//
+//	experiments -fig 7            # one figure
+//	experiments -all              # everything the paper reports
+//	experiments -scalability -scale 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig         = flag.Int("fig", 0, "regenerate one figure (6, 7 or 8)")
+		scalability = flag.Bool("scalability", false, "run the §VIII-D concurrency sweep")
+		smallJobs   = flag.Bool("smalljobs", false, "run the §VIII-B many-small-jobs check")
+		ablations   = flag.Bool("ablations", false, "run the design-choice ablations")
+		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
+		all         = flag.Bool("all", false, "run every experiment")
+		scale       = flag.Float64("scale", 200, "virtual-time dilation factor")
+		outDir      = flag.String("out", "results", "directory for CSV output")
+		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
+	)
+	flag.Parse()
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *baseline, *all, *scale, *outDir, *jobs); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, scalability, smallJobs, ablations, baseline, all bool, scale float64, outDir string, jobs int) error {
+	opts := experiments.Options{Scale: scale}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	any := false
+
+	runFig := func(n int, f func(experiments.Options) (*experiments.Result, error)) error {
+		any = true
+		res, err := f(opts)
+		if err != nil {
+			return fmt.Errorf("fig%d: %w", n, err)
+		}
+		fmt.Print(res.Render())
+		path := filepath.Join(outDir, fmt.Sprintf("fig%d.csv", n))
+		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+		return nil
+	}
+
+	if all || fig == 6 {
+		if err := runFig(6, experiments.Fig6); err != nil {
+			return err
+		}
+	}
+	if all || fig == 7 {
+		if err := runFig(7, experiments.Fig7); err != nil {
+			return err
+		}
+	}
+	if all || fig == 8 {
+		if err := runFig(8, experiments.Fig8); err != nil {
+			return err
+		}
+	}
+	if all || scalability {
+		any = true
+		res, err := experiments.Scalability(opts, []int{1, 2, 4, 8}, 512)
+		if err != nil {
+			return fmt.Errorf("scalability: %w", err)
+		}
+		fmt.Print(res.Render())
+		path := filepath.Join(outDir, "scalability.csv")
+		if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
+	if all || smallJobs {
+		any = true
+		res, err := experiments.SmallJobs(opts, jobs, 8)
+		if err != nil {
+			return fmt.Errorf("smalljobs: %w", err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+	if all || ablations {
+		any = true
+		type study struct {
+			name string
+			run  func() (*experiments.AblationResult, error)
+		}
+		studies := []study{
+			{"double-write", func() (*experiments.AblationResult, error) {
+				return experiments.AblationDoubleWrite(opts, 1024)
+			}},
+			{"staging-cache", func() (*experiments.AblationResult, error) {
+				return experiments.AblationStagingCache(opts, 768, 3)
+			}},
+			{"poll-interval", func() (*experiments.AblationResult, error) {
+				return experiments.AblationPolling(opts, nil)
+			}},
+			{"compression", func() (*experiments.AblationResult, error) {
+				return experiments.AblationCompression(opts, 4096)
+			}},
+		}
+		for _, s := range studies {
+			res, err := s.run()
+			if err != nil {
+				return fmt.Errorf("ablation %s: %w", s.name, err)
+			}
+			fmt.Print(res.Render())
+			fmt.Println()
+		}
+		sched, err := experiments.SchedulerPolicies(scale)
+		if err != nil {
+			return fmt.Errorf("ablation schedulers: %w", err)
+		}
+		fmt.Print(sched.Render())
+		fmt.Println()
+	}
+	if all || baseline {
+		any = true
+		res, err := experiments.BaselineJSE(opts, 256)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		fmt.Print(res.Render())
+		fmt.Println()
+	}
+	if !any {
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -baseline or -all")
+	}
+	return nil
+}

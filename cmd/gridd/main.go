@@ -1,0 +1,92 @@
+// Command gridd runs the simulated production Grid: the TeraGrid-like
+// site federation with its GRAM gatekeeper, per-site GridFTP servers and
+// the MyProxy credential repository, all on loopback ports. It writes an
+// endpoints file that cmd/onserve consumes, and registers the requested
+// users' credentials in MyProxy.
+//
+//	gridd -endpoints grid.json -user alice:secret -user bob:hunter2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gridenv"
+)
+
+// EndpointsFile is the JSON document gridd writes for onserve.
+type EndpointsFile struct {
+	GramURL     string            `json:"gram_url"`
+	MyProxyAddr string            `json:"myproxy_addr"`
+	FTPURLs     map[string]string `json:"ftp_urls"`
+	Sites       []string          `json:"sites"`
+}
+
+type userList []string
+
+func (u *userList) String() string     { return strings.Join(*u, ",") }
+func (u *userList) Set(v string) error { *u = append(*u, v); return nil }
+
+func main() {
+	var (
+		endpointsPath = flag.String("endpoints", "grid-endpoints.json", "file to write grid endpoints into")
+		users         userList
+	)
+	flag.Var(&users, "user", "user:passphrase to register in MyProxy (repeatable)")
+	flag.Parse()
+
+	if err := run(*endpointsPath, users); err != nil {
+		fmt.Fprintln(os.Stderr, "gridd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(endpointsPath string, users userList) error {
+	env, err := gridenv.Start(gridenv.Options{})
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	for _, u := range users {
+		name, pass, ok := strings.Cut(u, ":")
+		if !ok {
+			return fmt.Errorf("bad -user %q, want name:passphrase", u)
+		}
+		if _, err := env.AddUser(name, pass, 30*24*time.Hour); err != nil {
+			return err
+		}
+		fmt.Printf("registered user %s in MyProxy\n", name)
+	}
+
+	doc := EndpointsFile{
+		GramURL:     env.GramURL,
+		MyProxyAddr: env.MyProxyAddr,
+		FTPURLs:     env.FTPURLs,
+		Sites:       env.Grid.SiteNames(),
+	}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(endpointsPath, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("production grid up: %d sites\n", len(doc.Sites))
+	fmt.Printf("  GRAM gatekeeper  %s\n", doc.GramURL)
+	fmt.Printf("  MyProxy          %s\n", doc.MyProxyAddr)
+	fmt.Printf("  endpoints file   %s\n", endpointsPath)
+	fmt.Println("press Ctrl-C to stop")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("\nshutting down")
+	return nil
+}

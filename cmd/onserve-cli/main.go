@@ -1,0 +1,276 @@
+// Command onserve-cli drives a running onServe appliance from the shell:
+// upload executables, discover and describe generated services, invoke
+// them, and collect output.
+//
+//	onserve-cli -portal http://127.0.0.1:8080 upload -file pi.gsh -user alice -param digits:int
+//	onserve-cli -portal ... list
+//	onserve-cli -portal ... discover -pattern 'Pi%'
+//	onserve-cli -portal ... invoke -service PiService -arg digits=100 -wait
+//	onserve-cli -portal ... output -ticket inv-000001-abcdef
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/soap"
+	"repro/internal/uddi"
+	"repro/internal/wsclient"
+)
+
+func main() {
+	var portalURL string
+	flag.StringVar(&portalURL, "portal", "http://127.0.0.1:8080", "appliance base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := args[0], args[1:]
+	var err error
+	switch cmd {
+	case "upload":
+		err = cmdUpload(portalURL, rest)
+	case "list":
+		err = cmdList(portalURL)
+	case "describe":
+		err = cmdDescribe(portalURL, rest)
+	case "discover":
+		err = cmdDiscover(portalURL, rest)
+	case "invoke":
+		err = cmdInvoke(portalURL, rest)
+	case "status", "output", "cancel":
+		err = cmdTicket(portalURL, cmd, rest)
+	case "delete":
+		err = cmdDelete(portalURL, rest)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onserve-cli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: onserve-cli [-portal URL] <command> [flags]
+commands:
+  upload   -file F -user U [-desc D] [-param name:type ...]
+  list
+  describe -service S
+  discover -pattern P        (UDDI find, '%' wildcard)
+  invoke   -service S [-arg k=v ...] [-wait]
+  status   -ticket T
+  output   -ticket T
+  cancel   -ticket T
+  delete   -service S`)
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func cmdUpload(portalURL string, args []string) error {
+	fs := flag.NewFlagSet("upload", flag.ExitOnError)
+	file := fs.String("file", "", "gsh executable to upload")
+	user := fs.String("user", "", "portal user (must be registered on the appliance)")
+	desc := fs.String("desc", "", "service description")
+	var params multiFlag
+	fs.Var(&params, "param", "parameter as name:type (repeatable)")
+	fs.Parse(args)
+	if *file == "" || *user == "" {
+		return fmt.Errorf("upload needs -file and -user")
+	}
+	content, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("file", filepath.Base(*file))
+	if err != nil {
+		return err
+	}
+	fw.Write(content)
+	mw.WriteField("user", *user)
+	mw.WriteField("description", *desc)
+	for i, p := range params {
+		name, typ, _ := strings.Cut(p, ":")
+		if typ == "" {
+			typ = "string"
+		}
+		mw.WriteField(fmt.Sprintf("paramName%d", i+1), name)
+		mw.WriteField(fmt.Sprintf("paramType%d", i+1), typ)
+	}
+	mw.Close()
+	resp, err := http.Post(portalURL+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("upload failed (%d): %s", resp.StatusCode, body)
+	}
+	var rec uddi.Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return err
+	}
+	fmt.Printf("published %s\n  key      %s\n  endpoint %s\n  wsdl     %s\n",
+		rec.Name, rec.Key, rec.Endpoint, rec.WSDLURL)
+	return nil
+}
+
+func cmdList(portalURL string) error {
+	resp, err := http.Get(portalURL + "/api/services")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var services []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&services); err != nil {
+		return err
+	}
+	for _, s := range services {
+		fmt.Printf("%-28v %-10v %v\n", s["service_name"], s["owner"], s["description"])
+	}
+	return nil
+}
+
+func cmdDescribe(portalURL string, args []string) error {
+	fs := flag.NewFlagSet("describe", flag.ExitOnError)
+	service := fs.String("service", "", "service name")
+	fs.Parse(args)
+	proxy, err := wsclient.ImportURL(portalURL+"/services/"+*service, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s (%s)\n%s\n", proxy.Def.Name, proxy.Def.Namespace, proxy.Def.Doc)
+	for _, op := range proxy.Operations() {
+		fmt.Printf("  %s(", op.Name)
+		for i, p := range op.Params {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %s", p.Name, p.Type)
+		}
+		fmt.Println(")")
+	}
+	return nil
+}
+
+func cmdDiscover(portalURL string, args []string) error {
+	fs := flag.NewFlagSet("discover", flag.ExitOnError)
+	pattern := fs.String("pattern", "%", "UDDI name pattern")
+	fs.Parse(args)
+	var c soap.Client
+	out, err := c.Call(portalURL+"/services/"+uddi.ServiceName, uddi.Namespace, "find",
+		[]soap.Param{{Name: "pattern", Value: *pattern}}, nil)
+	if err != nil {
+		return err
+	}
+	recs, err := uddi.DecodeRecords(out)
+	if err != nil {
+		return err
+	}
+	for _, r := range recs {
+		fmt.Printf("%-28s %s\n  %s\n", r.Name, r.Key, r.Endpoint)
+	}
+	if len(recs) == 0 {
+		fmt.Println("no services match", *pattern)
+	}
+	return nil
+}
+
+func cmdInvoke(portalURL string, args []string) error {
+	fs := flag.NewFlagSet("invoke", flag.ExitOnError)
+	service := fs.String("service", "", "service name")
+	wait := fs.Bool("wait", false, "block until the job finishes and print its output")
+	var kvs multiFlag
+	fs.Var(&kvs, "arg", "argument as key=value (repeatable)")
+	fs.Parse(args)
+	if *service == "" {
+		return fmt.Errorf("invoke needs -service")
+	}
+	callArgs := map[string]string{}
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad -arg %q, want key=value", kv)
+		}
+		callArgs[k] = v
+	}
+	proxy, err := wsclient.ImportURL(portalURL+"/services/"+*service, nil)
+	if err != nil {
+		return err
+	}
+	ticket, err := proxy.Invoke("execute", callArgs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("ticket:", ticket)
+	if !*wait {
+		return nil
+	}
+	out, err := proxy.Invoke("wait", map[string]string{"ticket": ticket})
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdTicket(portalURL, cmd string, args []string) error {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	ticket := fs.String("ticket", "", "invocation ticket")
+	fs.Parse(args)
+	if *ticket == "" {
+		return fmt.Errorf("%s needs -ticket", cmd)
+	}
+	var resp *http.Response
+	var err error
+	switch cmd {
+	case "cancel":
+		resp, err = http.Post(portalURL+"/api/cancel?ticket="+*ticket, "", nil)
+	default:
+		resp, err = http.Get(portalURL + "/api/" + cmd + "?ticket=" + *ticket)
+	}
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s failed (%d): %s", cmd, resp.StatusCode, body)
+	}
+	fmt.Println(strings.TrimSpace(string(body)))
+	return nil
+}
+
+func cmdDelete(portalURL string, args []string) error {
+	fs := flag.NewFlagSet("delete", flag.ExitOnError)
+	service := fs.String("service", "", "service name")
+	fs.Parse(args)
+	resp, err := http.Post(portalURL+"/api/delete?name="+*service, "", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("delete failed (%d): %s", resp.StatusCode, body)
+	}
+	fmt.Println("deleted", *service)
+	return nil
+}

@@ -1,0 +1,113 @@
+// Command onserve builds and boots the Cyberaide onServe virtual
+// appliance against a running grid (see cmd/gridd): portal, SOAP
+// container, UDDI registry, blob database and Cyberaide agent behind one
+// HTTP endpoint.
+//
+//	onserve -endpoints grid.json -listen 127.0.0.1:8080 -user alice:secret
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/appliance"
+	"repro/internal/core"
+	"repro/internal/cyberaide"
+)
+
+type endpointsFile struct {
+	GramURL     string            `json:"gram_url"`
+	MyProxyAddr string            `json:"myproxy_addr"`
+	FTPURLs     map[string]string `json:"ftp_urls"`
+}
+
+type userList []string
+
+func (u *userList) String() string     { return strings.Join(*u, ",") }
+func (u *userList) Set(v string) error { *u = append(*u, v); return nil }
+
+func main() {
+	var (
+		endpointsPath = flag.String("endpoints", "grid-endpoints.json", "grid endpoints file written by gridd")
+		listen        = flag.String("listen", "127.0.0.1:0", "address for the appliance HTTP endpoint")
+		dbDir         = flag.String("db", "", "database directory (empty: in-memory)")
+		users         userList
+	)
+	flag.Var(&users, "user", "portal-user:myproxy-passphrase to register (repeatable)")
+	flag.Parse()
+	if err := run(*endpointsPath, *listen, *dbDir, users); err != nil {
+		fmt.Fprintln(os.Stderr, "onserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(endpointsPath, listen, dbDir string, users userList) error {
+	raw, err := os.ReadFile(endpointsPath)
+	if err != nil {
+		return fmt.Errorf("read endpoints (run gridd first?): %w", err)
+	}
+	var eps endpointsFile
+	if err := json.Unmarshal(raw, &eps); err != nil {
+		return fmt.Errorf("parse endpoints: %w", err)
+	}
+
+	img, err := appliance.BuildImage(appliance.Config{
+		Endpoints: cyberaide.Endpoints{
+			GramURL:     eps.GramURL,
+			MyProxyAddr: eps.MyProxyAddr,
+			FTPURLs:     eps.FTPURLs,
+		},
+		DBDir: dbDir,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("appliance image built: %s\n", strings.Join(img.Manifest, ", "))
+
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	app, err := img.Boot(ln)
+	if err != nil {
+		return err
+	}
+	defer app.Shutdown()
+
+	for _, u := range users {
+		name, pass, ok := strings.Cut(u, ":")
+		if !ok {
+			return fmt.Errorf("bad -user %q, want name:passphrase", u)
+		}
+		app.OnServe.RegisterUser(name, core.UserAuth{MyProxyUser: name, Passphrase: pass})
+		fmt.Printf("registered portal user %s\n", name)
+	}
+
+	if dbDir != "" {
+		n, err := app.OnServe.RedeployAll()
+		if err != nil {
+			return fmt.Errorf("redeploy stored services: %w", err)
+		}
+		if n > 0 {
+			fmt.Printf("redeployed %d stored services from %s\n", n, dbDir)
+		}
+	}
+
+	fmt.Printf("Cyberaide onServe appliance up\n")
+	fmt.Printf("  portal       %s/\n", app.BaseURL)
+	fmt.Printf("  services     %s\n", app.ServicesURL())
+	fmt.Printf("  UDDI         %s\n", app.RegistryURL())
+	fmt.Println("press Ctrl-C to stop")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("\nshutting down")
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package repro is a from-scratch Go reproduction of "Cyberaide onServe:
+// Software as a Service on Production Grids" (Kurze et al., ICPP 2010).
+//
+// The paper's middleware translates the SaaS model into the
+// Job-Submission-Execution model of production Grids: uploaded
+// executables become deployed Web services whose invocations are staged,
+// submitted and tentatively polled on the Grid. See DESIGN.md for the
+// system inventory, EXPERIMENTS.md for the paper-versus-measured record,
+// and bench_test.go in this directory for one benchmark per figure the
+// paper reports.
+package repro

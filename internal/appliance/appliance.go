@@ -1,0 +1,209 @@
+// Package appliance implements the Cyberaide onServe virtual appliance:
+// the on-demand-deployable access layer of the paper ("The Cyberaide
+// onServe virtual appliance is deployed on demand, hosts applications as
+// Web services, accepts Web service invocations, and finally ... executes
+// them on production Grids"). An Image is built from a configuration
+// (the rBuilder step); Boot provisions the portal, the UDDI registry, the
+// blob database, the SOAP container, and the Cyberaide agent behind one
+// HTTP endpoint, and Shutdown tears it down.
+package appliance
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/blobdb"
+	"repro/internal/core"
+	"repro/internal/cyberaide"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/portal"
+	"repro/internal/soap"
+	"repro/internal/uddi"
+	"repro/internal/vtime"
+)
+
+// Config describes an appliance image.
+type Config struct {
+	// Endpoints locates the production Grid's access points.
+	Endpoints cyberaide.Endpoints
+	// Clock; nil means real time.
+	Clock vtime.Clock
+	// Probe accounts the appliance host's resources; may be nil.
+	Probe *metrics.Probe
+	// Cost is the CPU cost model; zero value disables cost burning.
+	Cost metrics.Cost
+	// DBDir persists the database; empty keeps it in memory.
+	DBDir string
+	// GridHTTP carries grid-bound traffic (agent); nil uses the default
+	// client. Experiments install a shaped transport here.
+	GridHTTP *http.Client
+	// MyProxyDial overrides the MyProxy TCP dialer (for shaping).
+	MyProxyDial func(network, addr string) (net.Conn, error)
+	// UserProfile shapes the appliance's user-facing listener (the LAN of
+	// Fig. 8); nil leaves it unshaped.
+	UserProfile *netsim.Profile
+	// PollInterval / InvocationTimeout / ProxyLifetime tune the onServe
+	// pipeline; zero values use the core defaults.
+	PollInterval      time.Duration
+	InvocationTimeout time.Duration
+	ProxyLifetime     time.Duration
+	// StagingCache / DirectDBWrite / UseLongPoll select the ablation and
+	// extension variants (see core.Config).
+	StagingCache  bool
+	DirectDBWrite bool
+	UseLongPoll   bool
+}
+
+// Image is a built appliance image: validated configuration plus the
+// component manifest, ready to boot.
+type Image struct {
+	cfg      Config
+	Manifest []string
+}
+
+// BuildImage validates cfg and returns a bootable image.
+func BuildImage(cfg Config) (*Image, error) {
+	if cfg.Endpoints.GramURL == "" || cfg.Endpoints.MyProxyAddr == "" {
+		return nil, errors.New("appliance: grid endpoints (GRAM, MyProxy) required")
+	}
+	if len(cfg.Endpoints.FTPURLs) == 0 {
+		return nil, errors.New("appliance: at least one GridFTP endpoint required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = vtime.Real{}
+	}
+	return &Image{
+		cfg: cfg,
+		Manifest: []string{
+			"cyberaide-portal",
+			"uddi-registry",
+			"blob-database",
+			"soap-container",
+			"cyberaide-agent",
+			"onserve-core",
+		},
+	}, nil
+}
+
+// Appliance is a booted image.
+type Appliance struct {
+	OnServe   *core.OnServe
+	Agent     *cyberaide.Agent
+	Registry  *uddi.Registry
+	Container *soap.Server
+	DB        *blobdb.DB
+	Portal    *portal.Portal
+
+	// BaseURL is the appliance's public HTTP root.
+	BaseURL string
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// Boot starts the appliance on ln; a nil ln listens on an ephemeral
+// loopback port. The returned appliance is serving when Boot returns.
+func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
+	cfg := img.cfg
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("appliance: listen: %w", err)
+		}
+	}
+	baseURL := "http://" + ln.Addr().String()
+	if cfg.UserProfile != nil {
+		ln = netsim.NewListener(ln, cfg.UserProfile, cfg.Probe)
+	}
+
+	db, err := blobdb.Open(blobdb.Options{
+		Dir: cfg.DBDir, Clock: cfg.Clock, Probe: cfg.Probe, Cost: cfg.Cost,
+	})
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("appliance: open database: %w", err)
+	}
+	container := soap.NewServer(cfg.Probe, cfg.Cost)
+	registry := uddi.NewRegistry(cfg.Clock)
+	agent := cyberaide.New(cyberaide.Options{
+		Endpoints:   cfg.Endpoints,
+		Clock:       cfg.Clock,
+		Probe:       cfg.Probe,
+		Cost:        cfg.Cost,
+		HTTP:        cfg.GridHTTP,
+		MyProxyDial: cfg.MyProxyDial,
+	})
+	ons, err := core.New(core.Config{
+		DB:                db,
+		Container:         container,
+		Registry:          registry,
+		Agent:             agent,
+		BaseURL:           baseURL,
+		Clock:             cfg.Clock,
+		Probe:             cfg.Probe,
+		Cost:              cfg.Cost,
+		PollInterval:      cfg.PollInterval,
+		InvocationTimeout: cfg.InvocationTimeout,
+		ProxyLifetime:     cfg.ProxyLifetime,
+		StagingCache:      cfg.StagingCache,
+		DirectDBWrite:     cfg.DirectDBWrite,
+		UseLongPoll:       cfg.UseLongPoll,
+	})
+	if err != nil {
+		db.Close()
+		ln.Close()
+		return nil, err
+	}
+
+	// Deploy the built-in toolkit services: the UDDI registry and the
+	// Cyberaide agent facade ("A SOAP server runs the deployed Web
+	// services as well as some services related to the Cyberaide
+	// toolkit").
+	if err := container.Deploy(registry.SOAPService()); err != nil {
+		db.Close()
+		ln.Close()
+		return nil, err
+	}
+	if err := container.Deploy(agent.SOAPService()); err != nil {
+		db.Close()
+		ln.Close()
+		return nil, err
+	}
+
+	p := portal.New(ons, registry, cfg.Probe, cfg.Cost)
+	mux := http.NewServeMux()
+	mux.Handle("/services/", container)
+	mux.Handle("/", p)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+
+	return &Appliance{
+		OnServe:   ons,
+		Agent:     agent,
+		Registry:  registry,
+		Container: container,
+		DB:        db,
+		Portal:    p,
+		BaseURL:   baseURL,
+		srv:       srv,
+		ln:        ln,
+	}, nil
+}
+
+// Shutdown stops the HTTP server and closes the database.
+func (a *Appliance) Shutdown() error {
+	a.srv.Close()
+	a.ln.Close()
+	return a.DB.Close()
+}
+
+// ServicesURL returns the SOAP container root URL.
+func (a *Appliance) ServicesURL() string { return a.BaseURL + a.Container.BasePath() }
+
+// RegistryURL returns the UDDI registry service endpoint.
+func (a *Appliance) RegistryURL() string { return a.ServicesURL() + uddi.ServiceName }

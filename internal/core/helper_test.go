@@ -1,0 +1,15 @@
+package core
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// newHTTPServer mounts h on a test HTTP server and returns its base URL.
+func newHTTPServer(t *testing.T, h http.Handler) string {
+	t.Helper()
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	return hs.URL
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// Watchdog fires a callback once if it is not stopped before the timeout
+// elapses on the given clock — the reproduction of the paper's "watchdog
+// class, that is used to react correctly in some situations where a
+// problem may occur (for example when a process takes too long to
+// complete)".
+type Watchdog struct {
+	stopCh chan struct{}
+	once   sync.Once
+	fired  chan struct{}
+}
+
+// NewWatchdog arms a watchdog. onTimeout runs at most once, from the
+// watchdog's own goroutine.
+func NewWatchdog(clock vtime.Clock, timeout time.Duration, onTimeout func()) *Watchdog {
+	w := &Watchdog{
+		stopCh: make(chan struct{}),
+		fired:  make(chan struct{}),
+	}
+	go func() {
+		select {
+		case <-clock.After(timeout):
+			onTimeout()
+			close(w.fired)
+		case <-w.stopCh:
+		}
+	}()
+	return w
+}
+
+// Stop disarms the watchdog; safe to call multiple times and after fire.
+func (w *Watchdog) Stop() {
+	w.once.Do(func() { close(w.stopCh) })
+}
+
+// Fired returns a channel closed after the callback has run.
+func (w *Watchdog) Fired() <-chan struct{} { return w.fired }

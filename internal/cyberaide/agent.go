@@ -1,0 +1,308 @@
+// Package cyberaide implements the Cyberaide agent of the paper's access
+// layer: "To create and submit the job to the Grid, Cyberaide agent
+// methods are used. The Cyberaide agent is a Web service and exposes its
+// functions as Web methods" (§VI). The agent mediates every Grid
+// interaction: MyProxy logon, GridFTP staging, GRAM submission, status
+// polling, output retrieval, cancellation.
+//
+// The agent offers a native Go API (used in-process by onServe, as the
+// paper's generated client classes were) and a SOAP facade (SOAPService)
+// so remote callers can drive it as a Web service.
+package cyberaide
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/gram"
+	"repro/internal/gridftp"
+	"repro/internal/gridsim"
+	"repro/internal/jsdl"
+	"repro/internal/metrics"
+	"repro/internal/myproxy"
+	"repro/internal/vtime"
+	"repro/internal/xsec"
+)
+
+// DefaultProxyLifetime is the delegated proxy lifetime per session.
+const DefaultProxyLifetime = 12 * time.Hour
+
+// Errors.
+var (
+	ErrNoSession   = errors.New("cyberaide: no such session (authenticate first)")
+	ErrExpired     = errors.New("cyberaide: session proxy expired")
+	ErrUnknownSite = errors.New("cyberaide: no GridFTP endpoint for site")
+)
+
+// Endpoints locates the production Grid's access points.
+type Endpoints struct {
+	// GramURL is the gatekeeper root.
+	GramURL string
+	// MyProxyAddr is the credential repository's TCP address.
+	MyProxyAddr string
+	// FTPURLs maps site name to that site's GridFTP root.
+	FTPURLs map[string]string
+}
+
+// Session is one authenticated user context holding a delegated proxy.
+type Session struct {
+	ID       string
+	Identity string
+	proxy    *xsec.Credential
+	gram     *gram.Client
+	ftps     map[string]*gridftp.Client
+}
+
+// Agent mediates between the access layer and the Grid.
+type Agent struct {
+	endpoints Endpoints
+	clock     vtime.Clock
+	probe     *metrics.Probe
+	cost      metrics.Cost
+	// HTTP carries all Grid-bound traffic; experiments install a client
+	// whose transport dials through the shaped WAN profile.
+	http *http.Client
+	// myproxyDial lets experiments shape the MyProxy TCP connection.
+	myproxyDial func(network, addr string) (net.Conn, error)
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// Options configures New.
+type Options struct {
+	Endpoints Endpoints
+	Clock     vtime.Clock
+	Probe     *metrics.Probe
+	Cost      metrics.Cost
+	// HTTP is the client for GRAM/GridFTP traffic; nil uses the default.
+	HTTP *http.Client
+	// MyProxyDial overrides the MyProxy TCP dialer (for shaping).
+	MyProxyDial func(network, addr string) (net.Conn, error)
+}
+
+// New builds an agent.
+func New(opts Options) *Agent {
+	clock := opts.Clock
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	return &Agent{
+		endpoints:   opts.Endpoints,
+		clock:       clock,
+		probe:       opts.Probe,
+		cost:        opts.Cost,
+		http:        opts.HTTP,
+		myproxyDial: opts.MyProxyDial,
+		sessions:    make(map[string]*Session),
+	}
+}
+
+// Authenticate performs a MyProxy logon, obtaining a freshly delegated
+// proxy, and opens a session. This is the "security credential request
+// and the associated answer" whose traffic dominates Fig. 6 for small
+// payloads.
+func (a *Agent) Authenticate(user, passphrase string, lifetime time.Duration) (*Session, error) {
+	if lifetime <= 0 {
+		lifetime = DefaultProxyLifetime
+	}
+	a.probe.Burn(a.cost.Auth)
+	mp := &myproxy.Client{Addr: a.endpoints.MyProxyAddr, Dial: a.myproxyDial}
+	proxy, err := mp.Get(user, passphrase, lifetime)
+	if err != nil {
+		return nil, fmt.Errorf("cyberaide: myproxy logon for %q: %w", user, err)
+	}
+	sess := &Session{
+		ID:       newSessionID(),
+		Identity: xsec.Identity(proxy.Chain),
+		proxy:    proxy,
+		gram:     &gram.Client{BaseURL: a.endpoints.GramURL, Cred: proxy, HTTP: a.http},
+		ftps:     make(map[string]*gridftp.Client, len(a.endpoints.FTPURLs)),
+	}
+	for site, url := range a.endpoints.FTPURLs {
+		sess.ftps[site] = &gridftp.Client{BaseURL: url, Cred: proxy, HTTP: a.http}
+	}
+	a.mu.Lock()
+	a.sessions[sess.ID] = sess
+	a.mu.Unlock()
+	return sess, nil
+}
+
+// Session resolves a session ID, rejecting expired proxies.
+func (a *Agent) Session(id string) (*Session, error) {
+	a.mu.Lock()
+	sess, ok := a.sessions[id]
+	a.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSession
+	}
+	if leaf := sess.proxy.Leaf(); leaf == nil || !leaf.ValidAt(a.clock.Now()) {
+		return nil, ErrExpired
+	}
+	return sess, nil
+}
+
+// Logout discards a session.
+func (a *Agent) Logout(id string) {
+	a.mu.Lock()
+	delete(a.sessions, id)
+	a.mu.Unlock()
+}
+
+// SessionCount reports open sessions (monitoring).
+func (a *Agent) SessionCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.sessions)
+}
+
+// SiteURL reports the GridFTP endpoint configured for site.
+func (a *Agent) SiteURL(site string) (string, bool) {
+	url, ok := a.endpoints.FTPURLs[site]
+	return url, ok
+}
+
+// Sites lists the sites the agent can stage to.
+func (a *Agent) Sites() []string {
+	out := make([]string, 0, len(a.endpoints.FTPURLs))
+	for s := range a.endpoints.FTPURLs {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Upload stages a file to a site's GridFTP server under the session
+// identity. It returns the content checksum the server confirmed.
+func (a *Agent) Upload(sessionID, site, name string, data []byte) (string, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return "", err
+	}
+	ftp, ok := sess.ftps[site]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownSite, site)
+	}
+	checksum, err := ftp.Put(name, data)
+	if err != nil {
+		return "", fmt.Errorf("cyberaide: stage %s to %s: %w", name, site, err)
+	}
+	return checksum, nil
+}
+
+// Replicate performs a GridFTP third-party transfer: the toSite server
+// pulls name directly from the fromSite server under the session
+// identity, so the bytes never cross the agent's own (WAN) path.
+func (a *Agent) Replicate(sessionID, fromSite, toSite, name string) (string, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return "", err
+	}
+	srcURL, ok := a.endpoints.FTPURLs[fromSite]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownSite, fromSite)
+	}
+	dst, ok := sess.ftps[toSite]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownSite, toSite)
+	}
+	checksum, err := dst.FetchFrom(srcURL, name)
+	if err != nil {
+		return "", fmt.Errorf("cyberaide: replicate %s %s->%s: %w", name, fromSite, toSite, err)
+	}
+	return checksum, nil
+}
+
+// Submit sends a job description through GRAM. The description's owner
+// is forced to the session identity — the gatekeeper rejects anything
+// else anyway.
+func (a *Agent) Submit(sessionID string, desc *jsdl.Description) (string, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return "", err
+	}
+	d := *desc
+	d.Owner = sess.Identity
+	jobID, err := sess.gram.Submit(&d)
+	if err != nil {
+		return "", fmt.Errorf("cyberaide: submit: %w", err)
+	}
+	return jobID, nil
+}
+
+// Wait long-polls the gatekeeper until the job is terminal or timeout
+// elapses (the extension that obsoletes tentative output polling).
+func (a *Agent) Wait(sessionID, jobID string, timeout time.Duration) (*gram.StatusReply, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.gram.Wait(jobID, timeout)
+}
+
+// Status polls a job.
+func (a *Agent) Status(sessionID, jobID string) (*gram.StatusReply, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.gram.Status(jobID)
+}
+
+// Output fetches the job's stdout snapshot (tentative polling target).
+func (a *Agent) Output(sessionID, jobID string) (string, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return "", err
+	}
+	return sess.gram.Output(jobID)
+}
+
+// OutputFile fetches a named output artifact.
+func (a *Agent) OutputFile(sessionID, jobID, name string) ([]byte, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.gram.OutputFile(jobID, name)
+}
+
+// Cancel stops a job.
+func (a *Agent) Cancel(sessionID, jobID string) (*gram.StatusReply, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.gram.Cancel(jobID)
+}
+
+// Usage fetches the session identity's per-site accounting.
+func (a *Agent) Usage(sessionID string) ([]gridsim.SiteUsage, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.gram.Usage()
+}
+
+// GridStats fetches scheduler statistics from the gatekeeper.
+func (a *Agent) GridStats(sessionID string) ([]gridsim.SiteStats, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.gram.Sites()
+}
+
+func newSessionID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("cyberaide: entropy unavailable: " + err.Error())
+	}
+	return "sess-" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is true when the race detector is active.
+const raceEnabled = false

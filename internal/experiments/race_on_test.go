@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled is true when the race detector is active. Its ~10x CPU
+// inflation bleeds into virtual time at high dilation, so timing-tight
+// assertions are relaxed under -race (byte/shape assertions still hold).
+const raceEnabled = true

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gsh"
+	"repro/internal/wsclient"
+)
+
+// ScalabilityRow is one cell of the §VIII-D sweep.
+type ScalabilityRow struct {
+	Scenario    string  // "invoke" or "upload"
+	Link        string  // "wan" (invoke staging path) or "lan" (upload path)
+	Concurrency int     //
+	FileKB      int     //
+	MakespanS   float64 // virtual seconds until all requests completed
+	PerReqS     float64 // makespan / concurrency
+	ThroughputR float64 // requests per virtual minute
+	CPUPeakPct  float64
+}
+
+// ScalabilityResult is the full sweep.
+type ScalabilityResult struct {
+	Rows  []ScalabilityRow
+	Notes []string
+}
+
+// Render prints the table the paper's §VIII-D discusses qualitatively.
+func (r *ScalabilityResult) Render() string {
+	var sb strings.Builder
+	sb.WriteString("== scalability (§VIII-D): concurrency sweep ==\n")
+	sb.WriteString("scenario  link  conc  file_kb  makespan_s  per_req_s  req_per_min  cpu_peak_pct\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%-9s %-5s %4d  %7d  %10.1f  %9.1f  %11.2f  %12.1f\n",
+			row.Scenario, row.Link, row.Concurrency, row.FileKB,
+			row.MakespanS, row.PerReqS, row.ThroughputR, row.CPUPeakPct)
+	}
+	for _, n := range r.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the sweep for EXPERIMENTS.md.
+func (r *ScalabilityResult) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("scenario,link,concurrency,file_kb,makespan_s,per_req_s,req_per_min,cpu_peak_pct\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&sb, "%s,%s,%d,%d,%.1f,%.1f,%.2f,%.1f\n",
+			row.Scenario, row.Link, row.Concurrency, row.FileKB,
+			row.MakespanS, row.PerReqS, row.ThroughputR, row.CPUPeakPct)
+	}
+	return sb.String()
+}
+
+// Scalability runs the §VIII-D stress scenarios: multiple simultaneous
+// Web-service invocations (whose staging shares the WAN) and multiple
+// simultaneous portal uploads (which share the LAN and the appliance's
+// CPU/disk). The paper's claim: "the solution's scalability is limited
+// either by the system's hard disk I/O-performance or its network
+// connection's performance", not by CPU or memory.
+func Scalability(opts Options, concurrencies []int, fileKB int) (*ScalabilityResult, error) {
+	if len(concurrencies) == 0 {
+		concurrencies = []int{1, 2, 4, 8}
+	}
+	if fileKB <= 0 {
+		fileKB = 256
+	}
+	out := &ScalabilityResult{Notes: []string{
+		"invoke: staging shares the ~85 KB/s WAN; makespan grows ~linearly with concurrency",
+		"upload: the 1000 Mbit/s LAN is not the bottleneck; CPU/disk costs dominate",
+	}}
+	for _, conc := range concurrencies {
+		row, err := scalabilityInvoke(opts, conc, fileKB)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	for _, conc := range concurrencies {
+		row, err := scalabilityUpload(opts, conc, fileKB)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	return out, nil
+}
+
+// scalabilityInvoke measures conc simultaneous invocations of a service
+// whose executable is fileKB large (staging contends on the WAN).
+func scalabilityInvoke(opts Options, conc, fileKB int) (*ScalabilityRow, error) {
+	r, err := newRig(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	program := string(gsh.Pad([]byte("compute 1s\necho done ${tag}\n"), fileKB<<10))
+	if err := r.uploadViaPortal("sweep.gsh", program, "tag"); err != nil {
+		return nil, err
+	}
+	proxy, err := wsclient.ImportURL(r.app.BaseURL+"/services/SweepService", r.userHTTP)
+	if err != nil {
+		return nil, err
+	}
+
+	r.rec.Reset()
+	start := r.clock.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, conc)
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ticket, err := proxy.Invoke("execute", map[string]string{"tag": fmt.Sprint(i)})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := proxy.Invoke("wait", map[string]string{"ticket": ticket}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, fmt.Errorf("experiments: invoke sweep (conc=%d): %w", conc, err)
+	}
+	makespan := r.clock.Now().Sub(start)
+	return buildRow("invoke", "wan", conc, fileKB, makespan, r), nil
+}
+
+// scalabilityUpload measures conc simultaneous portal uploads.
+func scalabilityUpload(opts Options, conc, fileKB int) (*ScalabilityRow, error) {
+	r, err := newRig(opts)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+	program := string(gsh.Pad([]byte("echo stored\n"), fileKB<<10))
+
+	r.rec.Reset()
+	start := r.clock.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, conc)
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("up%c.gsh", 'a'+i)
+			if err := r.uploadViaPortal(name, program); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, fmt.Errorf("experiments: upload sweep (conc=%d): %w", conc, err)
+	}
+	makespan := r.clock.Now().Sub(start)
+	return buildRow("upload", "lan", conc, fileKB, makespan, r), nil
+}
+
+func buildRow(scenario, link string, conc, fileKB int, makespan time.Duration, r *rig) *ScalabilityRow {
+	sum := seriesSummary(r.rec.Series())
+	row := &ScalabilityRow{
+		Scenario:    scenario,
+		Link:        link,
+		Concurrency: conc,
+		FileKB:      fileKB,
+		MakespanS:   makespan.Seconds(),
+		PerReqS:     makespan.Seconds() / float64(conc),
+		CPUPeakPct:  sum["cpu_peak_pct"],
+	}
+	if makespan > 0 {
+		row.ThroughputR = float64(conc) / makespan.Minutes()
+	}
+	return row
+}

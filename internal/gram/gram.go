@@ -1,0 +1,506 @@
+// Package gram implements the gatekeeper protocol of the reproduction —
+// the K-GRAM stand-in the onServe middleware submits jobs through. The
+// protocol is deliberately narrow, matching what production Grids exposed
+// in 2010: submit a job description, poll its status, fetch its stdout
+// (the paper's workaround: "the actual status of the job can't be
+// retrieved and ... the local client has to request the output
+// tentatively"), fetch output files, cancel.
+//
+// Every request carries an xsec signed token; the gatekeeper verifies the
+// chain against its trust store and enforces that callers only touch
+// their own jobs.
+package gram
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/gridsim"
+	"repro/internal/jsdl"
+	"repro/internal/vtime"
+	"repro/internal/xsec"
+)
+
+// TokenHeader carries the base64 signed token.
+const TokenHeader = "X-Grid-Token"
+
+// MaxBody bounds request bodies (job descriptions are small; files go
+// through GridFTP, not GRAM).
+const MaxBody = 1 << 20
+
+// Errors reconstructed client-side from HTTP status + message.
+var (
+	ErrDenied    = errors.New("gram: authentication or authorization failed")
+	ErrNotOwner  = errors.New("gram: job belongs to another identity")
+	ErrNoSuchJob = errors.New("gram: no such job")
+	ErrBadInput  = errors.New("gram: malformed request")
+)
+
+// StatusReply is the gatekeeper's job status answer.
+type StatusReply struct {
+	JobID   string `json:"job_id"`
+	State   string `json:"state"`
+	Message string `json:"message,omitempty"`
+	Site    string `json:"site"`
+}
+
+// SubmitReply returns the assigned job ID.
+type SubmitReply struct {
+	JobID string `json:"job_id"`
+}
+
+// errorReply is the uniform error body.
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+// Server is the gatekeeper for one grid.
+type Server struct {
+	grid  *gridsim.Grid
+	trust *xsec.TrustStore
+	clock vtime.Clock
+}
+
+// NewServer builds a gatekeeper.
+func NewServer(grid *gridsim.Grid, trust *xsec.TrustStore, clock vtime.Clock) *Server {
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	return &Server{grid: grid, trust: trust, clock: clock}
+}
+
+// authenticate verifies the signed token over msg and returns the caller
+// identity.
+func (s *Server) authenticate(r *http.Request, msg []byte) (string, error) {
+	tok := r.Header.Get(TokenHeader)
+	if tok == "" {
+		return "", fmt.Errorf("%w: missing %s", ErrDenied, TokenHeader)
+	}
+	signed, err := xsec.DecodeSigned(tok)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	id, err := s.trust.Verify(msg, signed, s.clock.Now())
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	return id, nil
+}
+
+// ServeHTTP implements http.Handler under the /gram/ prefix.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.Method == http.MethodPost && r.URL.Path == "/gram/submit":
+		s.submit(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/gram/status":
+		s.withJob(w, r, func(j *gridsim.Job) { writeJSON(w, http.StatusOK, statusOf(j)) })
+	case r.Method == http.MethodGet && r.URL.Path == "/gram/output":
+		s.withJob(w, r, func(j *gridsim.Job) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			io.WriteString(w, j.Stdout())
+		})
+	case r.Method == http.MethodGet && r.URL.Path == "/gram/outfile":
+		s.withJob(w, r, func(j *gridsim.Job) {
+			name := r.URL.Query().Get("name")
+			data := j.OutputFile(name)
+			if data == nil {
+				writeJSON(w, http.StatusNotFound, errorReply{Error: "no output file " + name})
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data)
+		})
+	case r.Method == http.MethodGet && r.URL.Path == "/gram/wait":
+		s.wait(w, r)
+	case r.Method == http.MethodPost && r.URL.Path == "/gram/cancel":
+		s.cancel(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/gram/sites":
+		s.sites(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/gram/usage":
+		s.usage(w, r)
+	default:
+		writeJSON(w, http.StatusNotFound, errorReply{Error: "gram: unknown endpoint"})
+	}
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBody+1))
+	if err != nil || len(body) > MaxBody {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "gram: bad body"})
+		return
+	}
+	id, err := s.authenticate(r, body)
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: err.Error()})
+		return
+	}
+	desc, err := jsdl.Unmarshal(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: fmt.Sprintf("%v: %v", ErrBadInput, err)})
+		return
+	}
+	if desc.Owner != id {
+		writeJSON(w, http.StatusForbidden, errorReply{
+			Error: fmt.Sprintf("%v: description owner %q, authenticated %q", ErrDenied, desc.Owner, id),
+		})
+		return
+	}
+	job, err := s.grid.Submit(*desc)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitReply{JobID: job.ID})
+}
+
+// withJob authenticates (token over "job:<id>"), resolves and authorizes
+// the job, then runs fn.
+func (s *Server) withJob(w http.ResponseWriter, r *http.Request, fn func(*gridsim.Job)) {
+	jobID := r.URL.Query().Get("job")
+	id, err := s.authenticate(r, []byte("job:"+jobID))
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: err.Error()})
+		return
+	}
+	job, err := s.grid.Job(jobID)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorReply{Error: fmt.Sprintf("%v: %s", ErrNoSuchJob, jobID)})
+		return
+	}
+	if job.Desc.Owner != id {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: ErrNotOwner.Error()})
+		return
+	}
+	fn(job)
+}
+
+// DefaultWaitTimeout bounds one long-poll round.
+const DefaultWaitTimeout = 30 * time.Second
+
+// wait is the long-poll extension: it blocks until the job reaches a
+// terminal state or the requested timeout elapses, then returns the
+// status. The paper's implementation could not retrieve job status and
+// fell back to tentative output polling; this endpoint is the fix that
+// 2010-era gatekeepers lacked, benchmarked against the workaround in the
+// poll-interval ablation.
+func (s *Server) wait(w http.ResponseWriter, r *http.Request) {
+	s.withJob(w, r, func(j *gridsim.Job) {
+		timeout := DefaultWaitTimeout
+		if t := r.URL.Query().Get("timeout_s"); t != "" {
+			if secs, err := strconv.Atoi(t); err == nil && secs > 0 {
+				timeout = time.Duration(secs) * time.Second
+			}
+		}
+		select {
+		case <-j.Done():
+		case <-s.clock.After(timeout):
+		}
+		writeJSON(w, http.StatusOK, statusOf(j))
+	})
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	s.withJob(w, r, func(j *gridsim.Job) {
+		site, err := s.grid.Site(j.Site)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error()})
+			return
+		}
+		if err := site.Cancel(j.ID); err != nil {
+			writeJSON(w, http.StatusInternalServerError, errorReply{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, statusOf(j))
+	})
+}
+
+func (s *Server) sites(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.authenticate(r, []byte("sites")); err != nil {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.grid.Stats())
+}
+
+// usage reports the authenticated caller's accounting (jobs run and
+// core-seconds consumed per site) — what allocations are billed against.
+func (s *Server) usage(w http.ResponseWriter, r *http.Request) {
+	id, err := s.authenticate(r, []byte("usage"))
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.grid.Usage(id))
+}
+
+func statusOf(j *gridsim.Job) StatusReply {
+	return StatusReply{
+		JobID:   j.ID,
+		State:   j.State().String(),
+		Message: j.ExitMessage(),
+		Site:    j.Site,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// Client is the hand-rolled gatekeeper client.
+type Client struct {
+	// BaseURL is the gatekeeper root, e.g. "http://grid-host:2119".
+	BaseURL string
+	// Cred signs every request.
+	Cred *xsec.Credential
+	// HTTP defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP == nil {
+		return http.DefaultClient
+	}
+	return c.HTTP
+}
+
+func (c *Client) sign(msg []byte) (string, error) {
+	tok, err := c.Cred.Sign(msg)
+	if err != nil {
+		return "", err
+	}
+	return xsec.EncodeSigned(tok)
+}
+
+// Submit sends the description and returns the job ID.
+func (c *Client) Submit(desc *jsdl.Description) (string, error) {
+	body, err := jsdl.Marshal(desc)
+	if err != nil {
+		return "", err
+	}
+	tok, err := c.sign(body)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/gram/submit", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set(TokenHeader, tok)
+	req.Header.Set("Content-Type", "text/xml")
+	var reply SubmitReply
+	if err := c.do(req, &reply); err != nil {
+		return "", err
+	}
+	return reply.JobID, nil
+}
+
+// Status polls the job state.
+func (c *Client) Status(jobID string) (*StatusReply, error) {
+	var reply StatusReply
+	if err := c.jobGet("/gram/status", jobID, nil, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Output fetches the job's stdout snapshot — called repeatedly by the
+// tentative poller.
+func (c *Client) Output(jobID string) (string, error) {
+	raw, err := c.jobGetRaw("/gram/output", jobID, nil)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// OutputFile fetches a named output artifact.
+func (c *Client) OutputFile(jobID, name string) ([]byte, error) {
+	return c.jobGetRaw("/gram/outfile", jobID, map[string]string{"name": name})
+}
+
+// Cancel stops the job.
+func (c *Client) Cancel(jobID string) (*StatusReply, error) {
+	tok, err := c.sign([]byte("job:" + jobID))
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/gram/cancel?job="+jobID, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TokenHeader, tok)
+	var reply StatusReply
+	if err := c.do(req, &reply); err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Sites fetches grid-wide scheduler statistics.
+func (c *Client) Sites() ([]gridsim.SiteStats, error) {
+	tok, err := c.sign([]byte("sites"))
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/gram/sites", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TokenHeader, tok)
+	var reply []gridsim.SiteStats
+	if err := c.do(req, &reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Wait long-polls the gatekeeper: one request that blocks server-side
+// until the job is terminal or timeout elapses. Callers loop until the
+// returned state is terminal.
+func (c *Client) Wait(jobID string, timeout time.Duration) (*StatusReply, error) {
+	secs := int(timeout / time.Second)
+	if secs <= 0 {
+		secs = 1
+	}
+	var reply StatusReply
+	err := c.jobGet("/gram/wait", jobID, map[string]string{"timeout_s": strconv.Itoa(secs)}, &reply)
+	if err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// Usage fetches the caller's per-site accounting.
+func (c *Client) Usage() ([]gridsim.SiteUsage, error) {
+	tok, err := c.sign([]byte("usage"))
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/gram/usage", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TokenHeader, tok)
+	var reply []gridsim.SiteUsage
+	if err := c.do(req, &reply); err != nil {
+		return nil, err
+	}
+	return reply, nil
+}
+
+// WaitTerminal polls Status until the job is terminal or the deadline
+// passes, using the given poll interval on clock. This is deliberately
+// the paper's inefficient pattern — there are no callbacks.
+func (c *Client) WaitTerminal(jobID string, clock vtime.Clock, interval, timeout time.Duration) (*StatusReply, error) {
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	deadline := clock.Now().Add(timeout)
+	for {
+		st, err := c.Status(jobID)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case "DONE", "FAILED", "CANCELLED", "TIMEOUT":
+			return st, nil
+		}
+		if clock.Now().After(deadline) {
+			return st, fmt.Errorf("gram: job %s not terminal after %v", jobID, timeout)
+		}
+		clock.Sleep(interval)
+	}
+}
+
+func (c *Client) jobGet(path, jobID string, extra map[string]string, out any) error {
+	req, err := c.jobRequest(path, jobID, extra)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) jobGetRaw(path, jobID string, extra map[string]string) ([]byte, error) {
+	req, err := c.jobRequest(path, jobID, extra)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, gridsim.MaxJobOutputBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+func (c *Client) jobRequest(path, jobID string, extra map[string]string) (*http.Request, error) {
+	tok, err := c.sign([]byte("job:" + jobID))
+	if err != nil {
+		return nil, err
+	}
+	url := c.BaseURL + path + "?job=" + jobID
+	for k, v := range extra {
+		url += "&" + k + "=" + v
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TokenHeader, tok)
+	return req, nil
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("gram: %s: %w", req.URL.Path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp.StatusCode, body)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// decodeError maps server errors back to sentinel errors where possible.
+func decodeError(status int, body []byte) error {
+	var er errorReply
+	msg := string(body)
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	var sentinel error
+	switch {
+	case status == http.StatusForbidden && msg == ErrNotOwner.Error():
+		sentinel = ErrNotOwner
+	case status == http.StatusForbidden:
+		sentinel = ErrDenied
+	case status == http.StatusNotFound:
+		sentinel = ErrNoSuchJob
+	default:
+		sentinel = ErrBadInput
+	}
+	return fmt.Errorf("%w: http %d: %s", sentinel, status, msg)
+}

@@ -1,0 +1,326 @@
+package gram
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gridsim"
+	"repro/internal/jsdl"
+	"repro/internal/vtime"
+	"repro/internal/xsec"
+)
+
+var t0 = time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	grid   *gridsim.Grid
+	clock  *vtime.Scaled
+	client *Client
+	other  *Client
+	alice  string
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := vtime.NewScaled(20000)
+	ca, err := xsec.NewCA("GridCA", clk.Now(), 10*365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := ca.IssueUser("alice", clk.Now(), 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := ca.IssueUser("bob", clk.Now(), 365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gridsim.New(clk,
+		gridsim.SiteConfig{Name: "siteA", Nodes: 2, CoresPerNode: 4},
+		gridsim.SiteConfig{Name: "siteB", Nodes: 1, CoresPerNode: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(grid, xsec.NewTrustStore(ca.Cert), clk)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	// Stage a few programs for alice on siteA.
+	siteA, _ := grid.Site("siteA")
+	siteA.Store().Put(alice.Subject(), "hello.gsh", []byte("echo hello\ncompute 500ms\n"))
+	siteA.Store().Put(alice.Subject(), "slow.gsh", []byte("emit 500ms 100 tick\n"))
+	siteA.Store().Put(alice.Subject(), "writer.gsh", []byte("write result.dat 64\necho ok\n"))
+	return &fixture{
+		grid:   grid,
+		clock:  clk,
+		client: &Client{BaseURL: hs.URL, Cred: alice},
+		other:  &Client{BaseURL: hs.URL, Cred: bob},
+		alice:  alice.Subject(),
+	}
+}
+
+func (f *fixture) desc(exe string) *jsdl.Description {
+	return &jsdl.Description{Owner: f.alice, Executable: exe, Site: "siteA"}
+}
+
+func TestSubmitAndWait(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "siteA:job-") {
+		t.Fatalf("job id %q", id)
+	}
+	st, err := f.client.WaitTerminal(id, f.clock, time.Second, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "DONE" {
+		t.Fatalf("state %s: %s", st.State, st.Message)
+	}
+	out, err := f.client.Output(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "hello\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestOutputFileRetrieval(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("writer.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.WaitTerminal(id, f.clock, time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.client.OutputFile(id, "result.dat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 64 {
+		t.Fatalf("artifact %d bytes", len(data))
+	}
+	if _, err := f.client.OutputFile(id, "ghost.dat"); !errors.Is(err, ErrNoSuchJob) {
+		// 404 for a missing artifact maps to the not-found sentinel.
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTentativeOutputPollingSeesPartialOutput(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("slow.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll until some output appears while the job is still running —
+	// the paper's workaround behaviour.
+	deadline := time.Now().Add(5 * time.Second)
+	var partial string
+	for {
+		st, err := f.client.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := f.client.Output(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "RUNNING" && strings.Contains(out, "tick") {
+			partial = out
+			break
+		}
+		if st.State == "DONE" || time.Now().After(deadline) {
+			t.Skip("job finished before a mid-run poll landed; timing too coarse")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	full, err := f.client.WaitTerminal(id, f.clock, time.Second, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.State != "DONE" {
+		t.Fatalf("state %s", full.State)
+	}
+	final, _ := f.client.Output(id)
+	if len(final) <= len(partial) {
+		t.Fatalf("final output (%d bytes) not longer than partial (%d)", len(final), len(partial))
+	}
+}
+
+func TestCancel(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("slow.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.client.WaitTerminal(id, f.clock, time.Second, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "CANCELLED" {
+		t.Fatalf("state %s", st.State)
+	}
+}
+
+func TestOwnershipEnforced(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.other.Status(id); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := f.other.Output(id); err == nil {
+		t.Fatal("bob read alice's output")
+	}
+	if _, err := f.other.Cancel(id); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSubmitOwnerMustMatchIdentity(t *testing.T) {
+	f := newFixture(t)
+	d := f.desc("hello.gsh") // owner = alice
+	if _, err := f.other.Submit(d); !errors.Is(err, ErrDenied) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSubmitUnstagedExecutable(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.client.Submit(f.desc("ghost.gsh")); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUnauthenticatedRejected(t *testing.T) {
+	f := newFixture(t)
+	bare := &Client{BaseURL: f.client.BaseURL, Cred: &xsec.Credential{}}
+	if _, err := bare.Submit(f.desc("hello.gsh")); err == nil {
+		t.Fatal("credential-less submit accepted")
+	}
+}
+
+func TestExpiredProxyRejected(t *testing.T) {
+	f := newFixture(t)
+	// A proxy that expires in 1 virtual second at scale 20000 is long
+	// gone by the time the request lands.
+	shortProxy, err := f.client.Cred.Delegate(f.clock.Now(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // > 1s virtual
+	expired := &Client{BaseURL: f.client.BaseURL, Cred: shortProxy}
+	if _, err := expired.Submit(f.desc("hello.gsh")); !errors.Is(err, ErrDenied) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStatusOfUnknownJob(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.client.Status("siteA:job-999999"); !errors.Is(err, ErrNoSuchJob) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSites(t *testing.T) {
+	f := newFixture(t)
+	stats, err := f.client.Sites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 || stats[0].Name != "siteA" {
+		t.Fatalf("stats %+v", stats)
+	}
+}
+
+func TestUsageAccounting(t *testing.T) {
+	f := newFixture(t)
+	// Before running anything: empty usage.
+	usage, err := f.client.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(usage) != 0 {
+		t.Fatalf("usage %+v", usage)
+	}
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.WaitTerminal(id, f.clock, time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	usage, err = f.client.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(usage) != 1 || usage[0].Site != "siteA" {
+		t.Fatalf("usage %+v", usage)
+	}
+	u := usage[0].Usage
+	if u.Jobs != 1 || u.CPUSeconds < 0.4 {
+		t.Fatalf("owner usage %+v (hello.gsh computes 500ms)", u)
+	}
+	// Bob's usage is separate — and empty.
+	bobUsage, err := f.other.Usage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bobUsage) != 0 {
+		t.Fatalf("bob's usage %+v", bobUsage)
+	}
+}
+
+func TestWaitTerminalTimeout(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("slow.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.client.WaitTerminal(id, f.clock, time.Second, 2*time.Second)
+	if err == nil || !strings.Contains(err.Error(), "not terminal") {
+		t.Fatalf("got %v", err)
+	}
+	f.client.Cancel(id)
+}
+
+func TestProxySubmission(t *testing.T) {
+	f := newFixture(t)
+	proxy, err := f.client.Cred.Delegate(f.clock.Now(), 12*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxied := &Client{BaseURL: f.client.BaseURL, Cred: proxy}
+	id, err := proxied.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := proxied.WaitTerminal(id, f.clock, time.Second, time.Hour)
+	if err != nil || st.State != "DONE" {
+		t.Fatalf("proxied job: %v %v", st, err)
+	}
+}
+
+func TestUnknownEndpoint(t *testing.T) {
+	f := newFixture(t)
+	resp, err := f.client.httpClient().Get(f.client.BaseURL + "/gram/bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

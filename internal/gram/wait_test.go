@@ -1,0 +1,72 @@
+package gram
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWaitLongPollReturnsTerminal(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One long-poll round with a generous timeout observes completion.
+	st, err := f.client.Wait(id, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "DONE" {
+		t.Fatalf("state %s: %s", st.State, st.Message)
+	}
+}
+
+func TestWaitLongPollTimesOutOnRunningJob(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("slow.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A short wait round returns RUNNING (or QUEUED) without blocking to
+	// completion.
+	st, err := f.client.Wait(id, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State == "DONE" || st.State == "FAILED" {
+		t.Fatalf("slow job already terminal: %s", st.State)
+	}
+	f.client.Cancel(id)
+}
+
+func TestWaitAuthz(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.other.Wait(id, time.Second); err == nil {
+		t.Fatal("bob waited on alice's job")
+	}
+}
+
+func TestWaitLoopUntilTerminal(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		st, err := f.client.Wait(id, 3*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch st.State {
+		case "DONE":
+			return
+		case "FAILED", "CANCELLED", "TIMEOUT":
+			t.Fatalf("unexpected terminal %s: %s", st.State, st.Message)
+		}
+	}
+	t.Fatal("job never finished across 50 wait rounds")
+}

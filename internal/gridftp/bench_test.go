@@ -1,0 +1,37 @@
+package gridftp
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkPut(b *testing.B) {
+	f := newFixture(b)
+	for _, size := range []int{4 << 10, 256 << 10} {
+		b.Run(fmt.Sprintf("%dKB", size>>10), func(b *testing.B) {
+			data := make([]byte, size)
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.alice.Put("bench.bin", data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	f := newFixture(b)
+	data := make([]byte, 256<<10)
+	if _, err := f.alice.Put("bench.bin", data); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.alice.Get("bench.bin"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

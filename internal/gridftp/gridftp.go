@@ -1,0 +1,462 @@
+// Package gridftp implements the staging service of the reproduction's
+// Grid layer: the paper's executables are "uploaded to the Grid by using
+// the functions provided by the Cyberaide agent" over GridFTP-class
+// transfers, and the transfer time over the WAN link is the dominant cost
+// of Fig. 7 ("It takes about 60 seconds to upload the file to the Grid
+// node. The transfer rate is almost constant all the time at about 80 to
+// 90 KB/s").
+//
+// The protocol is HTTP: PUT/GET/DELETE under /ftp/, authenticated with
+// xsec signed tokens and integrity-checked with SHA-256 trailers. Each
+// server fronts one site's staging store.
+package gridftp
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"repro/internal/gridsim"
+	"repro/internal/vtime"
+	"repro/internal/xsec"
+)
+
+// Headers.
+const (
+	// TokenHeader carries the signed authentication token.
+	TokenHeader = "X-Grid-Token"
+	// ChecksumHeader carries the hex SHA-256 of the payload.
+	ChecksumHeader = "X-Content-Sha256"
+)
+
+// MaxFileBytes bounds one staged file (matches the store's limit).
+const MaxFileBytes = 256 << 20
+
+// Errors.
+var (
+	ErrDenied   = errors.New("gridftp: authentication failed")
+	ErrChecksum = errors.New("gridftp: checksum mismatch")
+	ErrNoFile   = errors.New("gridftp: no such file")
+	ErrBadInput = errors.New("gridftp: malformed request")
+)
+
+// Server fronts one site's staging store.
+type Server struct {
+	store *gridsim.Store
+	trust *xsec.TrustStore
+	clock vtime.Clock
+}
+
+// NewServer builds a staging server for store.
+func NewServer(store *gridsim.Store, trust *xsec.TrustStore, clock vtime.Clock) *Server {
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	return &Server{store: store, trust: trust, clock: clock}
+}
+
+// signPayload is the byte string both sides sign for a request: it binds
+// method, file name, and content hash so tokens cannot be replayed
+// against other files or operations.
+func signPayload(method, name, checksum string) []byte {
+	return []byte(method + "\n" + name + "\n" + checksum)
+}
+
+func (s *Server) authenticate(r *http.Request, msg []byte) (string, error) {
+	tok := r.Header.Get(TokenHeader)
+	if tok == "" {
+		return "", fmt.Errorf("%w: missing %s", ErrDenied, TokenHeader)
+	}
+	signed, err := xsec.DecodeSigned(tok)
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	id, err := s.trust.Verify(msg, signed, s.clock.Now())
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrDenied, err)
+	}
+	return id, nil
+}
+
+// ServeHTTP handles /ftp/<name> plus /ftp-list and /ftp-fetch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/ftp-list" && r.Method == http.MethodGet {
+		s.list(w, r)
+		return
+	}
+	if r.URL.Path == "/ftp-fetch" && r.Method == http.MethodPost {
+		s.fetch(w, r)
+		return
+	}
+	if !strings.HasPrefix(r.URL.Path, "/ftp/") {
+		httpError(w, http.StatusNotFound, "gridftp: unknown endpoint")
+		return
+	}
+	name, err := url.PathUnescape(strings.TrimPrefix(r.URL.Path, "/ftp/"))
+	if err != nil || name == "" || strings.Contains(name, "/") {
+		httpError(w, http.StatusBadRequest, ErrBadInput.Error()+": bad file name")
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		s.put(w, r, name)
+	case http.MethodGet:
+		s.get(w, r, name)
+	case http.MethodDelete:
+		s.delete(w, r, name)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "gridftp: method not allowed")
+	}
+}
+
+func (s *Server) put(w http.ResponseWriter, r *http.Request, name string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxFileBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "gridftp: read body: "+err.Error())
+		return
+	}
+	if len(body) > MaxFileBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "gridftp: file too large")
+		return
+	}
+	sum := sha256.Sum256(body)
+	checksum := hex.EncodeToString(sum[:])
+	if want := r.Header.Get(ChecksumHeader); want != checksum {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("%v: got %s want %s", ErrChecksum, checksum, want))
+		return
+	}
+	id, err := s.authenticate(r, signPayload(http.MethodPut, name, checksum))
+	if err != nil {
+		httpError(w, http.StatusForbidden, err.Error())
+		return
+	}
+	if err := s.store.Put(id, name, body); err != nil {
+		httpError(w, http.StatusInsufficientStorage, err.Error())
+		return
+	}
+	w.Header().Set(ChecksumHeader, checksum)
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request, name string) {
+	id, err := s.authenticate(r, signPayload(http.MethodGet, name, ""))
+	if err != nil {
+		httpError(w, http.StatusForbidden, err.Error())
+		return
+	}
+	data, err := s.store.Get(id, name)
+	if err != nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("%v: %s", ErrNoFile, name))
+		return
+	}
+	sum := sha256.Sum256(data)
+	w.Header().Set(ChecksumHeader, hex.EncodeToString(sum[:]))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+func (s *Server) delete(w http.ResponseWriter, r *http.Request, name string) {
+	id, err := s.authenticate(r, signPayload(http.MethodDelete, name, ""))
+	if err != nil {
+		httpError(w, http.StatusForbidden, err.Error())
+		return
+	}
+	if err := s.store.Delete(id, name); err != nil {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("%v: %s", ErrNoFile, name))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// fetchRequest asks this server to pull a file from another GridFTP
+// server — the third-party transfer of real GridFTP. The requester signs
+// the fetch itself and encloses a pre-signed GET capability for the
+// source, so neither server ever holds the user's key.
+type fetchRequest struct {
+	SourceURL   string `json:"source_url"`   // source server root
+	Name        string `json:"name"`         // file name at source and destination
+	SourceToken string `json:"source_token"` // pre-signed GET token for the source
+}
+
+// fetch pulls name from another site's server and stores it locally
+// under the authenticated identity.
+func (s *Server) fetch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<10))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "gridftp: read fetch request: "+err.Error())
+		return
+	}
+	var req fetchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, ErrBadInput.Error()+": "+err.Error())
+		return
+	}
+	if req.Name == "" || strings.Contains(req.Name, "/") || req.SourceURL == "" {
+		httpError(w, http.StatusBadRequest, ErrBadInput.Error()+": bad fetch fields")
+		return
+	}
+	id, err := s.authenticate(r, signPayload("FETCH", req.Name, req.SourceURL))
+	if err != nil {
+		httpError(w, http.StatusForbidden, err.Error())
+		return
+	}
+	// Pull from the source with the enclosed capability.
+	getReq, err := http.NewRequest(http.MethodGet, req.SourceURL+"/ftp/"+url.PathEscape(req.Name), nil)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	getReq.Header.Set(TokenHeader, req.SourceToken)
+	resp, err := http.DefaultClient.Do(getReq)
+	if err != nil {
+		httpError(w, http.StatusBadGateway, "gridftp: fetch from source: "+err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		srcBody, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		httpError(w, http.StatusBadGateway,
+			fmt.Sprintf("gridftp: source answered %d: %s", resp.StatusCode, srcBody))
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxFileBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	if len(data) > MaxFileBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "gridftp: fetched file too large")
+		return
+	}
+	sum := sha256.Sum256(data)
+	checksum := hex.EncodeToString(sum[:])
+	if want := resp.Header.Get(ChecksumHeader); want != "" && want != checksum {
+		httpError(w, http.StatusBadGateway, ErrChecksum.Error()+": source payload damaged")
+		return
+	}
+	if err := s.store.Put(id, req.Name, data); err != nil {
+		httpError(w, http.StatusInsufficientStorage, err.Error())
+		return
+	}
+	w.Header().Set(ChecksumHeader, checksum)
+	w.WriteHeader(http.StatusCreated)
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	id, err := s.authenticate(r, signPayload(http.MethodGet, "/ftp-list", ""))
+	if err != nil {
+		httpError(w, http.StatusForbidden, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.store.List(id))
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// Client stages files to and from one site's GridFTP server.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://site-host:2811".
+	BaseURL string
+	// Cred signs every request; the authenticated identity owns the files.
+	Cred *xsec.Credential
+	// HTTP defaults to http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP == nil {
+		return http.DefaultClient
+	}
+	return c.HTTP
+}
+
+func (c *Client) sign(method, name, checksum string) (string, error) {
+	tok, err := c.Cred.Sign(signPayload(method, name, checksum))
+	if err != nil {
+		return "", err
+	}
+	return xsec.EncodeSigned(tok)
+}
+
+// Put uploads data as name, returning the server-confirmed checksum.
+func (c *Client) Put(name string, data []byte) (string, error) {
+	sum := sha256.Sum256(data)
+	checksum := hex.EncodeToString(sum[:])
+	tok, err := c.sign(http.MethodPut, name, checksum)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest(http.MethodPut, c.fileURL(name), bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set(TokenHeader, tok)
+	req.Header.Set(ChecksumHeader, checksum)
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("gridftp: put %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", readError(resp)
+	}
+	if got := resp.Header.Get(ChecksumHeader); got != checksum {
+		return "", fmt.Errorf("%w: server stored %s, sent %s", ErrChecksum, got, checksum)
+	}
+	return checksum, nil
+}
+
+// Get downloads name, verifying the checksum trailer.
+func (c *Client) Get(name string) ([]byte, error) {
+	tok, err := c.sign(http.MethodGet, name, "")
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet, c.fileURL(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TokenHeader, tok)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: get %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, MaxFileBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	if want := resp.Header.Get(ChecksumHeader); want != hex.EncodeToString(sum[:]) {
+		return nil, fmt.Errorf("%w: payload damaged in transit", ErrChecksum)
+	}
+	return data, nil
+}
+
+// Delete removes name.
+func (c *Client) Delete(name string) error {
+	tok, err := c.sign(http.MethodDelete, name, "")
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, c.fileURL(name), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set(TokenHeader, tok)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("gridftp: delete %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return readError(resp)
+	}
+	return nil
+}
+
+// FetchFrom asks this client's server (the destination) to pull name
+// directly from sourceURL — a third-party transfer. The caller's
+// credential signs both the fetch order and the GET capability the
+// destination presents to the source; the transfer itself flows
+// site-to-site without touching the client's network path.
+func (c *Client) FetchFrom(sourceURL, name string) (string, error) {
+	srcToken, err := c.sign(http.MethodGet, name, "")
+	if err != nil {
+		return "", err
+	}
+	fetchToken, err := c.sign("FETCH", name, sourceURL)
+	if err != nil {
+		return "", err
+	}
+	body, err := json.Marshal(fetchRequest{
+		SourceURL:   sourceURL,
+		Name:        name,
+		SourceToken: srcToken,
+	})
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/ftp-fetch", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set(TokenHeader, fetchToken)
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", fmt.Errorf("gridftp: fetch %s from %s: %w", name, sourceURL, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return "", readError(resp)
+	}
+	return resp.Header.Get(ChecksumHeader), nil
+}
+
+// List returns the caller's staged file names.
+func (c *Client) List() ([]string, error) {
+	tok, err := c.sign(http.MethodGet, "/ftp-list", "")
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+"/ftp-list", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TokenHeader, tok)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("gridftp: list: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, readError(resp)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, err
+	}
+	return names, nil
+}
+
+func (c *Client) fileURL(name string) string {
+	return c.BaseURL + "/ftp/" + url.PathEscape(name)
+}
+
+func readError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var er struct {
+		Error string `json:"error"`
+	}
+	msg := string(body)
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	var sentinel error
+	switch resp.StatusCode {
+	case http.StatusForbidden:
+		sentinel = ErrDenied
+	case http.StatusNotFound:
+		sentinel = ErrNoFile
+	default:
+		sentinel = ErrBadInput
+	}
+	return fmt.Errorf("%w: http %d: %s", sentinel, resp.StatusCode, msg)
+}

@@ -1,0 +1,76 @@
+package gsh
+
+import (
+	"io"
+	"testing"
+	"time"
+)
+
+const benchProgram = `# benchmark program
+compute 10ms
+echo starting ${run}
+loop 5
+  write out-${run}.dat 1024
+  echo wrote chunk
+end
+emit 1ms 3 tick
+echo done
+`
+
+func BenchmarkParse(b *testing.B) {
+	src := []byte(benchProgram)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParsePadded5MB(b *testing.B) {
+	src := Pad([]byte(benchProgram), 5<<20)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	prog, err := Parse([]byte("echo a ${x}\nloop 10\necho b\nend\nwrite f 256\n"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := &Env{
+		Args:      map[string]string{"x": "1"},
+		Stdout:    io.Discard,
+		CPU:       func(d time.Duration) {},
+		WriteFile: func(string, []byte) error { return nil },
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prog.Run(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPad(b *testing.B) {
+	src := []byte(benchProgram)
+	b.SetBytes(5 << 20)
+	for i := 0; i < b.N; i++ {
+		Pad(src, 5<<20)
+	}
+}
+
+func BenchmarkExpand(b *testing.B) {
+	args := map[string]string{"a": "1", "b": "2", "c": "3"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Expand("prefix ${a} mid ${b} and ${c} suffix ${missing}", args)
+	}
+}

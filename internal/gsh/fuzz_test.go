@@ -1,0 +1,62 @@
+package gsh
+
+import (
+	"testing"
+	"time"
+)
+
+// instantClock makes sleep/emit statements free so fuzzed programs run
+// in microseconds instead of real time.
+type instantClock struct{ now time.Time }
+
+func (c *instantClock) Now() time.Time        { return c.now }
+func (c *instantClock) Sleep(d time.Duration) { c.now = c.now.Add(d) }
+func (c *instantClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.now = c.now.Add(d)
+	ch <- c.now
+	return ch
+}
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"echo hello\n",
+		"compute 1s\nsleep 2s\n",
+		"loop 3\necho x\nend\n",
+		"loop 3\nloop 2\nwrite f 10\nend\nend\n",
+		"emit 1s 5 tick tock\n",
+		"fail with a message\n",
+		"# comment only\n",
+		"write ${name}.dat 4096\n",
+		"compute -1s\n",
+		"loop\nend\n",
+		"end\n",
+		"loop 999999999999\nend\n",
+		"compute 99999h\n",
+		"\x00\x01\x02",
+		"echo \xff\xfe",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, src []byte) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Anything that parses must also report a non-negative duration
+		// and survive a dry run under a no-op environment.
+		if prog.TotalDuration() < 0 {
+			t.Fatalf("negative duration for %q", src)
+		}
+		env := &Env{
+			Clock:     &instantClock{},
+			CPU:       func(time.Duration) {},
+			WriteFile: func(string, []byte) error { return nil },
+		}
+		// Bound runaway programs with the interpreter's own step limit;
+		// Run must return, not panic.
+		_ = prog.Run(env)
+	})
+}

@@ -1,0 +1,72 @@
+package gsh
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the parser never panics and either returns a program or an
+// error for arbitrary byte soup assembled from plausible tokens.
+func TestPropertyParserTotality(t *testing.T) {
+	tokens := []string{
+		"compute", "sleep", "echo", "write", "emit", "fail", "loop", "end",
+		"1s", "500ms", "10", "-3", "out.dat", "${x}", "#", "\n", " ", "24h1m",
+		"99999999999999999999", "text with spaces", "\t", "loop 2",
+	}
+	f := func(picks []uint8) bool {
+		var sb strings.Builder
+		for i, p := range picks {
+			sb.WriteString(tokens[int(p)%len(tokens)])
+			if i%3 == 2 {
+				sb.WriteByte('\n')
+			} else {
+				sb.WriteByte(' ')
+			}
+		}
+		// Must not panic; result value is unconstrained.
+		prog, err := Parse([]byte(sb.String()))
+		if err == nil && prog == nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any program that parses also runs to completion (or fails
+// cleanly) under a no-op environment without panicking, within the step
+// limit.
+func TestPropertyRunTotality(t *testing.T) {
+	progs := []string{
+		"compute 1ms\n",
+		"loop 3\necho a\nend\n",
+		"write f 10\nfail x\n",
+		"emit 1ms 2 t\necho ${a}${b}\n",
+		"loop 2\nloop 2\nwrite ${k}.dat 1\nend\nend\n",
+		"# only comments\n\n",
+		"",
+	}
+	f := func(pick uint8, arg string) bool {
+		src := progs[int(pick)%len(progs)]
+		prog, err := Parse([]byte(src))
+		if err != nil {
+			return false // all fixtures must parse
+		}
+		env := &Env{
+			Args:      map[string]string{"a": arg, "k": "key"},
+			WriteFile: func(string, []byte) error { return nil },
+		}
+		runErr := prog.Run(env)
+		// Only the deliberate fail statement may error.
+		if strings.Contains(src, "fail") {
+			return runErr != nil
+		}
+		return runErr == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package jsdl
+
+import "testing"
+
+func FuzzUnmarshal(f *testing.F) {
+	d := validDesc()
+	if doc, err := Marshal(&d); err == nil {
+		f.Add(doc)
+	}
+	f.Add([]byte("<JobDefinition/>"))
+	f.Add([]byte(""))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		desc, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted descriptions are valid and round-trip.
+		if err := desc.Validate(); err != nil {
+			t.Fatalf("unmarshal accepted invalid description: %v", err)
+		}
+		doc, err := Marshal(desc)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		again, err := Unmarshal(doc)
+		if err != nil {
+			t.Fatalf("second unmarshal failed: %v", err)
+		}
+		if again.Executable != desc.Executable || again.CPUs != desc.CPUs {
+			t.Fatal("round trip drifted")
+		}
+	})
+}

@@ -1,0 +1,389 @@
+// Package myproxy reimplements the MyProxy online credential repository
+// the paper's Grid layer lists ("The production Grid Layer comprises all
+// Grid related services and tools (for example MyProxy, CoG Kit, etc.)").
+//
+// Users store a long-lived proxy credential under a passphrase; services
+// acting on the user's behalf (the Cyberaide agent) later log on with the
+// passphrase and receive a freshly delegated short-lived proxy — never the
+// stored private key's full lifetime. The protocol is a hand-rolled
+// length-prefixed JSON exchange over TCP, one request per connection, in
+// the spirit of the original MyProxy text protocol.
+package myproxy
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vtime"
+	"repro/internal/xsec"
+)
+
+// Protocol limits.
+const (
+	// MaxMessage bounds a single protocol message; credentials are small.
+	MaxMessage = 1 << 20
+	// DefaultLifetime is the delegated proxy lifetime when the client does
+	// not request one (MyProxy's historical default is 12 hours).
+	DefaultLifetime = 12 * time.Hour
+)
+
+// Errors surfaced to clients as response strings and re-materialised by
+// the client into these values.
+var (
+	ErrNoSuchUser    = errors.New("myproxy: no credential stored for user")
+	ErrBadPassphrase = errors.New("myproxy: bad passphrase")
+	ErrExpired       = errors.New("myproxy: stored credential expired")
+	ErrProtocol      = errors.New("myproxy: protocol error")
+)
+
+// Op names the protocol operations.
+type Op string
+
+// Protocol operations.
+const (
+	OpPut     Op = "put"     // store a credential
+	OpGet     Op = "get"     // retrieve a freshly delegated proxy
+	OpInfo    Op = "info"    // describe the stored credential
+	OpDestroy Op = "destroy" // remove the stored credential
+)
+
+// request is the single wire message a client sends.
+type request struct {
+	Op         Op              `json:"op"`
+	User       string          `json:"user"`
+	Passphrase string          `json:"passphrase"`
+	Credential json.RawMessage `json:"credential,omitempty"`
+	LifetimeS  int64           `json:"lifetime_s,omitempty"`
+}
+
+// response is the single wire message the server answers with.
+type response struct {
+	OK         bool            `json:"ok"`
+	Error      string          `json:"error,omitempty"`
+	Credential json.RawMessage `json:"credential,omitempty"`
+	Info       *Info           `json:"info,omitempty"`
+}
+
+// Info describes a stored credential without revealing secrets.
+type Info struct {
+	User     string    `json:"user"`
+	Subject  string    `json:"subject"`
+	NotAfter time.Time `json:"not_after"`
+	StoredAt time.Time `json:"stored_at"`
+}
+
+type stored struct {
+	cred     *xsec.Credential
+	passHash [32]byte
+	salt     [16]byte
+	storedAt time.Time
+}
+
+// Server is the repository. Serve accepts connections from any
+// net.Listener (including a netsim-shaped one).
+type Server struct {
+	clock vtime.Clock
+
+	mu    sync.Mutex
+	creds map[string]*stored
+	wg    sync.WaitGroup
+	ln    net.Listener
+}
+
+// NewServer returns an empty repository on clock.
+func NewServer(clock vtime.Clock) *Server {
+	if clock == nil {
+		clock = vtime.Real{}
+	}
+	return &Server{clock: clock, creds: make(map[string]*stored)}
+}
+
+// Serve accepts and handles connections until the listener closes. It
+// always returns a non-nil error (net.ErrClosed after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+// Close stops the listener passed to Serve.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	ln := s.ln
+	s.mu.Unlock()
+	if ln == nil {
+		return nil
+	}
+	return ln.Close()
+}
+
+// Count reports how many credentials are stored (monitoring/tests).
+func (s *Server) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.creds)
+}
+
+func (s *Server) handle(c net.Conn) {
+	defer c.Close()
+	var req request
+	if err := readMsg(c, &req); err != nil {
+		writeMsg(c, response{Error: ErrProtocol.Error()})
+		return
+	}
+	resp := s.dispatch(&req)
+	writeMsg(c, resp)
+}
+
+func (s *Server) dispatch(req *request) response {
+	switch req.Op {
+	case OpPut:
+		return s.put(req)
+	case OpGet:
+		return s.get(req)
+	case OpInfo:
+		return s.info(req)
+	case OpDestroy:
+		return s.destroy(req)
+	default:
+		return response{Error: fmt.Sprintf("myproxy: unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) put(req *request) response {
+	cred, err := xsec.UnmarshalCredential(req.Credential)
+	if err != nil || cred.Leaf() == nil {
+		return response{Error: ErrProtocol.Error() + ": bad credential"}
+	}
+	var salt [16]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		return response{Error: "myproxy: entropy unavailable"}
+	}
+	st := &stored{
+		cred:     cred,
+		salt:     salt,
+		passHash: hashPass(salt, req.Passphrase),
+		storedAt: s.clock.Now(),
+	}
+	s.mu.Lock()
+	s.creds[req.User] = st
+	s.mu.Unlock()
+	return response{OK: true}
+}
+
+func (s *Server) lookup(req *request) (*stored, error) {
+	s.mu.Lock()
+	st, ok := s.creds[req.User]
+	s.mu.Unlock()
+	if !ok {
+		return nil, ErrNoSuchUser
+	}
+	want := hashPass(st.salt, req.Passphrase)
+	if subtle.ConstantTimeCompare(want[:], st.passHash[:]) != 1 {
+		return nil, ErrBadPassphrase
+	}
+	return st, nil
+}
+
+func (s *Server) get(req *request) response {
+	st, err := s.lookup(req)
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	now := s.clock.Now()
+	if !st.cred.Leaf().ValidAt(now) {
+		return response{Error: ErrExpired.Error()}
+	}
+	lifetime := DefaultLifetime
+	if req.LifetimeS > 0 {
+		lifetime = time.Duration(req.LifetimeS) * time.Second
+	}
+	proxy, err := st.cred.Delegate(now, lifetime)
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	b, err := proxy.Marshal()
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	return response{OK: true, Credential: b}
+}
+
+func (s *Server) info(req *request) response {
+	st, err := s.lookup(req)
+	if err != nil {
+		return response{Error: err.Error()}
+	}
+	leaf := st.cred.Leaf()
+	return response{OK: true, Info: &Info{
+		User:     req.User,
+		Subject:  leaf.Subject,
+		NotAfter: leaf.NotAfter,
+		StoredAt: st.storedAt,
+	}}
+}
+
+func (s *Server) destroy(req *request) response {
+	if _, err := s.lookup(req); err != nil {
+		return response{Error: err.Error()}
+	}
+	s.mu.Lock()
+	delete(s.creds, req.User)
+	s.mu.Unlock()
+	return response{OK: true}
+}
+
+func hashPass(salt [16]byte, pass string) [32]byte {
+	h := sha256.New()
+	h.Write(salt[:])
+	io.WriteString(h, pass)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Client talks to a Server. Dial defaults to net.Dial; override it to
+// route through a shaped netsim.Dialer.
+type Client struct {
+	Addr string
+	Dial func(network, addr string) (net.Conn, error)
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	d := c.Dial
+	if d == nil {
+		d = net.Dial
+	}
+	return d("tcp", c.Addr)
+}
+
+func (c *Client) roundTrip(req request) (*response, error) {
+	conn, err := c.dial()
+	if err != nil {
+		return nil, fmt.Errorf("myproxy: dial %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, req); err != nil {
+		return nil, err
+	}
+	var resp response
+	if err := readMsg(conn, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, mapError(resp.Error)
+	}
+	return &resp, nil
+}
+
+// mapError re-materialises well-known server errors so callers can use
+// errors.Is across the wire.
+func mapError(msg string) error {
+	for _, e := range []error{ErrNoSuchUser, ErrBadPassphrase, ErrExpired} {
+		if msg == e.Error() {
+			return e
+		}
+	}
+	return errors.New(msg)
+}
+
+// Put stores cred for user under passphrase.
+func (c *Client) Put(user, passphrase string, cred *xsec.Credential) error {
+	b, err := cred.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(request{Op: OpPut, User: user, Passphrase: passphrase, Credential: b})
+	return err
+}
+
+// Get logs on and returns a freshly delegated proxy valid for lifetime.
+func (c *Client) Get(user, passphrase string, lifetime time.Duration) (*xsec.Credential, error) {
+	resp, err := c.roundTrip(request{
+		Op: OpGet, User: user, Passphrase: passphrase,
+		LifetimeS: int64(lifetime / time.Second),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return xsec.UnmarshalCredential(resp.Credential)
+}
+
+// Info describes the stored credential.
+func (c *Client) Info(user, passphrase string) (*Info, error) {
+	resp, err := c.roundTrip(request{Op: OpInfo, User: user, Passphrase: passphrase})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Info, nil
+}
+
+// Destroy removes the stored credential.
+func (c *Client) Destroy(user, passphrase string) error {
+	_, err := c.roundTrip(request{Op: OpDestroy, User: user, Passphrase: passphrase})
+	return err
+}
+
+// readMsg reads one length-prefixed JSON message.
+func readMsg(r io.Reader, v any) error {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return fmt.Errorf("%w: short length: %v", ErrProtocol, err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxMessage {
+		return fmt.Errorf("%w: message of %d bytes exceeds limit", ErrProtocol, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("%w: short body: %v", ErrProtocol, err)
+	}
+	if err := json.Unmarshal(buf, v); err != nil {
+		return fmt.Errorf("%w: %v", ErrProtocol, err)
+	}
+	return nil
+}
+
+// writeMsg writes one length-prefixed JSON message.
+func writeMsg(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(b)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// randomToken is exported for tests needing unique users.
+func randomToken() string {
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,268 @@
+package myproxy
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/vtime"
+	"repro/internal/xsec"
+)
+
+var t0 = time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+
+type fixture struct {
+	ca     *xsec.CA
+	user   *xsec.Credential
+	trust  *xsec.TrustStore
+	client *Client
+	server *Server
+	clock  *vtime.Manual
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	ca, err := xsec.NewCA("MyProxyCA", t0, 10*365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user, err := ca.IssueUser("alice", t0, 30*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := vtime.NewManual(t0)
+	srv := NewServer(clock)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+	return &fixture{
+		ca:     ca,
+		user:   user,
+		trust:  xsec.NewTrustStore(ca.Cert),
+		client: &Client{Addr: ln.Addr().String()},
+		server: srv,
+		clock:  clock,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	if err := f.client.Put("alice", "s3cret", f.user); err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := f.client.Get("alice", "s3cret", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proxy.Leaf().Kind != xsec.KindProxy {
+		t.Fatal("retrieved credential is not a proxy")
+	}
+	id, err := f.trust.VerifyChain(proxy.Chain, t0.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "/O=Repro/CN=alice" {
+		t.Fatalf("identity %q", id)
+	}
+}
+
+func TestGetDelegatesFreshProxyEachTime(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw", f.user)
+	p1, err := f.client.Get("alice", "pw", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := f.client.Get("alice", "pw", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Leaf().Serial == p2.Leaf().Serial {
+		t.Fatal("server handed out the same proxy twice")
+	}
+}
+
+func TestGetRespectsRequestedLifetime(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw", f.user)
+	proxy, err := f.client.Get("alice", "pw", 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := proxy.Leaf().NotAfter.Sub(t0)
+	if got != 2*time.Hour {
+		t.Fatalf("proxy lifetime %v, want 2h", got)
+	}
+}
+
+func TestBadPassphrase(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "right", f.user)
+	if _, err := f.client.Get("alice", "wrong", time.Hour); !errors.Is(err, ErrBadPassphrase) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNoSuchUser(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.client.Get("nobody", "pw", time.Hour); !errors.Is(err, ErrNoSuchUser) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestExpiredStoredCredential(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw", f.user)
+	f.clock.Advance(60 * 24 * time.Hour) // past the 30-day user cert
+	if _, err := f.client.Get("alice", "pw", time.Hour); !errors.Is(err, ErrExpired) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestInfo(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw", f.user)
+	info, err := f.client.Info("alice", "pw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Subject != "/O=Repro/CN=alice" || !info.StoredAt.Equal(t0) {
+		t.Fatalf("info %+v", info)
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw", f.user)
+	if f.server.Count() != 1 {
+		t.Fatal("credential not stored")
+	}
+	if err := f.client.Destroy("alice", "pw"); err != nil {
+		t.Fatal(err)
+	}
+	if f.server.Count() != 0 {
+		t.Fatal("credential not removed")
+	}
+	if _, err := f.client.Get("alice", "pw", time.Hour); !errors.Is(err, ErrNoSuchUser) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDestroyRequiresPassphrase(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw", f.user)
+	if err := f.client.Destroy("alice", "nope"); !errors.Is(err, ErrBadPassphrase) {
+		t.Fatalf("got %v", err)
+	}
+	if f.server.Count() != 1 {
+		t.Fatal("credential removed despite bad passphrase")
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw1", f.user)
+	other, _ := f.ca.IssueUser("alice2", t0, 24*time.Hour)
+	if err := f.client.Put("alice", "pw2", other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.Get("alice", "pw1", time.Hour); !errors.Is(err, ErrBadPassphrase) {
+		t.Fatalf("old passphrase still works: %v", err)
+	}
+	p, err := f.client.Get("alice", "pw2", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.Leaf().Subject, "alice2") {
+		t.Fatalf("got proxy for %q", p.Leaf().Subject)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	f := newFixture(t)
+	conn, err := net.Dial("tcp", f.client.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeMsg(conn, request{Op: "bogus"}); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := readMsg(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Error, "unknown op") {
+		t.Fatalf("resp %+v", resp)
+	}
+}
+
+func TestMalformedFrameRejected(t *testing.T) {
+	f := newFixture(t)
+	conn, err := net.Dial("tcp", f.client.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Oversized length prefix.
+	conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	var resp response
+	if err := readMsg(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("server accepted oversized frame")
+	}
+}
+
+func TestPutRejectsGarbageCredential(t *testing.T) {
+	f := newFixture(t)
+	conn, err := net.Dial("tcp", f.client.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	writeMsg(conn, request{Op: OpPut, User: "x", Passphrase: "p", Credential: []byte(`"junk"`)})
+	var resp response
+	if err := readMsg(conn, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("garbage credential accepted")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	c := &Client{Addr: "127.0.0.1:1"}
+	if _, err := c.Get("a", "b", time.Hour); err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	f := newFixture(t)
+	f.client.Put("alice", "pw", f.user)
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func() {
+			_, err := f.client.Get("alice", "pw", time.Hour)
+			errs <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRandomTokenUnique(t *testing.T) {
+	if randomToken() == randomToken() {
+		t.Fatal("tokens collide")
+	}
+}

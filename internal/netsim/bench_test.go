@@ -1,0 +1,73 @@
+package netsim
+
+import (
+	"io"
+	"net"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func BenchmarkUnshapedConnWrite(b *testing.B) {
+	clk := vtime.Real{}
+	c, s := benchPipe(b)
+	sc := Wrap(c, clk, NewLink(clk, 0), nil)
+	go io.Copy(io.Discard, s)
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShapedConnWriteDilated(b *testing.B) {
+	// 1 MB/s virtual at 10000x dilation: pacing bookkeeping without real
+	// sleeps dominating.
+	clk := vtime.NewScaled(10000)
+	c, s := benchPipe(b)
+	sc := Wrap(c, clk, NewLink(clk, 1<<20), nil)
+	go io.Copy(io.Discard, s)
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Write(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLinkTake(b *testing.B) {
+	clk := vtime.NewScaled(100000)
+	l := NewLink(clk, 1<<30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.take(4 << 10)
+	}
+}
+
+func benchPipe(b *testing.B) (client, server net.Conn) {
+	b.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			done <- c
+		}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	server = <-done
+	b.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}

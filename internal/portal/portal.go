@@ -1,0 +1,377 @@
+// Package portal implements the Cyberaide onServe web portal: the
+// extended Cyberaide portal of the paper with its "Upload file and
+// generate Web Service" dialog (Fig. 3). A browser form (or the JSON API
+// the CLI uses) uploads an executable with a description and parameter
+// declarations; the portal hands it to the onServe core, which stores it,
+// generates the Web service, and publishes it.
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/uddi"
+	"repro/internal/wsclient"
+	"repro/internal/wsdl"
+)
+
+// MaxUploadBytes bounds one uploaded executable.
+const MaxUploadBytes = 256 << 20
+
+// Portal serves the UI and JSON API on top of an OnServe instance.
+type Portal struct {
+	onserve  *core.OnServe
+	registry *uddi.Registry
+	probe    *metrics.Probe
+	cost     metrics.Cost
+	mux      *http.ServeMux
+}
+
+// New builds a portal for ons. registry enables the /registry browser
+// page (the UDDI inspection tool the paper notes its solution lacks);
+// probe may be nil.
+func New(ons *core.OnServe, registry *uddi.Registry, probe *metrics.Probe, cost metrics.Cost) *Portal {
+	p := &Portal{onserve: ons, registry: registry, probe: probe, cost: cost}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", p.home)
+	mux.HandleFunc("/upload", p.upload)
+	mux.HandleFunc("/registry", p.registryPage)
+	mux.HandleFunc("/api/stats", p.apiStats)
+	mux.HandleFunc("/api/services", p.apiServices)
+	mux.HandleFunc("/api/service", p.apiService)
+	mux.HandleFunc("/api/client", p.apiClient)
+	mux.HandleFunc("/api/invoke", p.apiInvoke)
+	mux.HandleFunc("/api/status", p.apiStatus)
+	mux.HandleFunc("/api/output", p.apiOutput)
+	mux.HandleFunc("/api/outfile", p.apiOutputFile)
+	mux.HandleFunc("/api/wait", p.apiWait)
+	mux.HandleFunc("/api/cancel", p.apiCancel)
+	mux.HandleFunc("/api/delete", p.apiDelete)
+	p.mux = mux
+	return p
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Portal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mux.ServeHTTP(w, r)
+}
+
+var homeTmpl = template.Must(template.New("home").Parse(`<!DOCTYPE html>
+<html><head><title>Cyberaide onServe</title></head>
+<body>
+<h1>Cyberaide onServe</h1>
+<p>Software as a Service on Production Grids.</p>
+<h2>File upload and Web Service generation</h2>
+<form action="/upload" method="post" enctype="multipart/form-data">
+  <p>Choose file to upload: <input type="file" name="file"></p>
+  <p>User: <input type="text" name="user"></p>
+  <p>Description: <input type="text" name="description"></p>
+  <p>Parameter-Name 1 <input type="text" name="paramName1">
+     Parameter-Type 1 <input type="text" name="paramType1"></p>
+  <p>Parameter-Name 2 <input type="text" name="paramName2">
+     Parameter-Type 2 <input type="text" name="paramType2"></p>
+  <p>Parameter-Name 3 <input type="text" name="paramName3">
+     Parameter-Type 3 <input type="text" name="paramType3"></p>
+  <p><input type="submit" value="Upload file and generate WebService"></p>
+</form>
+<h2>Generated services</h2>
+<ul>
+{{range .}}<li><a href="{{.WSDLURL}}">{{.ServiceName}}</a> — {{.Description}} (owner {{.Owner}})</li>
+{{end}}</ul>
+</body></html>
+`))
+
+func (p *Portal) home(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	services, err := p.onserve.Services()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	homeTmpl.Execute(w, services)
+}
+
+// upload is the paper's "Upload file and generate Web Service" action:
+// the form's information is passed through, the file lands on the portal
+// server, and the onServe function generates and publishes the service.
+func (p *Portal) upload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	p.probe.Burn(p.cost.RequestHandling)
+	if err := r.ParseMultipartForm(32 << 20); err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("portal: parse form: %w", err))
+		return
+	}
+	file, hdr, err := r.FormFile("file")
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("portal: missing file: %w", err))
+		return
+	}
+	defer file.Close()
+	content, err := io.ReadAll(io.LimitReader(file, MaxUploadBytes+1))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(content) > MaxUploadBytes {
+		jsonError(w, http.StatusRequestEntityTooLarge, errors.New("portal: file too large"))
+		return
+	}
+	// Reception CPU (Fig. 8): proportional to the upload size.
+	p.probe.BurnFor(len(content), p.cost.ReceiveBps)
+
+	user := r.FormValue("user")
+	description := r.FormValue("description")
+	var params []wsdl.ParamDef
+	for i := 1; ; i++ {
+		name := strings.TrimSpace(r.FormValue("paramName" + strconv.Itoa(i)))
+		typ := strings.TrimSpace(r.FormValue("paramType" + strconv.Itoa(i)))
+		if name == "" && typ == "" {
+			if i > 3 { // the form always posts three rows; APIs may post more
+				break
+			}
+			continue
+		}
+		if name == "" {
+			break
+		}
+		if typ == "" {
+			typ = wsdl.TypeString
+		}
+		params = append(params, wsdl.ParamDef{Name: name, Type: typ})
+	}
+
+	rec, err := p.onserve.UploadAndGenerate(user, hdr.Filename, description, params, content)
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	// Optional comma-separated stage-in declaration: input files the
+	// owner stages to the Grid out of band.
+	if stageIn := strings.TrimSpace(r.FormValue("stageIn")); stageIn != "" {
+		var files []string
+		for _, f := range strings.Split(stageIn, ",") {
+			if f = strings.TrimSpace(f); f != "" {
+				files = append(files, f)
+			}
+		}
+		if err := p.onserve.SetStageIn(rec.Name, files); err != nil {
+			jsonError(w, statusFor(err), err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+var registryTmpl = template.Must(template.New("registry").Parse(`<!DOCTYPE html>
+<html><head><title>UDDI registry</title></head>
+<body>
+<h1>UDDI registry</h1>
+<p>{{len .}} published service(s). Pattern filtering: append ?pattern=Monte%25</p>
+<table border="1" cellpadding="4">
+<tr><th>name</th><th>key</th><th>owner</th><th>endpoint</th><th>WSDL</th><th>published</th></tr>
+{{range .}}<tr>
+  <td>{{.Name}}</td><td>{{.Key}}</td><td>{{.Owner}}</td>
+  <td><a href="{{.Endpoint}}">{{.Endpoint}}</a></td>
+  <td><a href="{{.WSDLURL}}">wsdl</a></td>
+  <td>{{.PublishedAt.Format "2006-01-02 15:04:05"}}</td>
+</tr>
+{{end}}</table>
+</body></html>
+`))
+
+// registryPage is the UDDI browser the paper's solution lacked: "the
+// user has to do so by using external tools as the presented solution
+// doesn't come with a tool to examine UDDI registries" (§VIII-D4).
+func (p *Portal) registryPage(w http.ResponseWriter, r *http.Request) {
+	if p.registry == nil {
+		http.Error(w, "registry browsing not enabled", http.StatusNotFound)
+		return
+	}
+	recs := p.registry.Find(r.URL.Query().Get("pattern"))
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	registryTmpl.Execute(w, recs)
+}
+
+// apiClient serves a ready-to-edit Go client stub for a generated
+// service — the paper's suggested improvement over making every consumer
+// run wsimport themselves.
+func (p *Portal) apiClient(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	info, err := p.onserve.ServiceInfo(name)
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	proxy, err := wsclient.ImportURL(info.Endpoint, nil)
+	if err != nil {
+		jsonError(w, http.StatusBadGateway, err)
+		return
+	}
+	stub, err := wsclient.GenerateStub(proxy.Def)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/x-go; charset=utf-8")
+	w.Header().Set("Content-Disposition", "attachment; filename=\""+name+"_client.go\"")
+	w.Write(stub)
+}
+
+func (p *Portal) apiOutputFile(w http.ResponseWriter, r *http.Request) {
+	data, err := p.onserve.InvocationOutputFile(
+		r.URL.Query().Get("ticket"), r.URL.Query().Get("name"))
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// apiStats serves the monitoring snapshot.
+func (p *Portal) apiStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, p.onserve.Monitoring())
+}
+
+func (p *Portal) apiServices(w http.ResponseWriter, r *http.Request) {
+	services, err := p.onserve.Services()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, services)
+}
+
+func (p *Portal) apiService(w http.ResponseWriter, r *http.Request) {
+	info, err := p.onserve.ServiceInfo(r.URL.Query().Get("name"))
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (p *Portal) apiInvoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	p.probe.Burn(p.cost.RequestHandling)
+	var req struct {
+		Service string            `json:"service"`
+		Args    map[string]string `json:"args"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	inv, err := p.onserve.Invoke(req.Service, req.Args)
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"ticket": inv.Ticket, "job_id": inv.JobID, "site": inv.Site})
+}
+
+func (p *Portal) withInvocation(w http.ResponseWriter, r *http.Request, fn func(*core.Invocation)) {
+	inv, err := p.onserve.Invocation(r.URL.Query().Get("ticket"))
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	fn(inv)
+}
+
+func (p *Portal) apiStatus(w http.ResponseWriter, r *http.Request) {
+	p.withInvocation(w, r, func(inv *core.Invocation) {
+		s, err := inv.StatusJSON()
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, s)
+	})
+}
+
+func (p *Portal) apiOutput(w http.ResponseWriter, r *http.Request) {
+	p.withInvocation(w, r, func(inv *core.Invocation) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, inv.Output())
+	})
+}
+
+func (p *Portal) apiWait(w http.ResponseWriter, r *http.Request) {
+	p.withInvocation(w, r, func(inv *core.Invocation) {
+		<-inv.DoneChan()
+		writeJSON(w, http.StatusOK, map[string]string{
+			"state":   string(inv.State()),
+			"message": inv.Message(),
+			"output":  inv.Output(),
+		})
+	})
+}
+
+func (p *Portal) apiCancel(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	p.withInvocation(w, r, func(inv *core.Invocation) {
+		if err := p.onserve.CancelInvocation(inv.Ticket); err != nil {
+			jsonError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"state": "cancelling"})
+	})
+}
+
+func (p *Portal) apiDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if err := p.onserve.DeleteService(name); err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrNoSuchService), errors.Is(err, core.ErrNoTicket):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBadName), errors.Is(err, core.ErrBadProgram),
+		errors.Is(err, core.ErrNoSuchUser):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func jsonError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

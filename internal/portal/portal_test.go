@@ -1,0 +1,507 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/blobdb"
+	"repro/internal/core"
+	"repro/internal/cyberaide"
+	"repro/internal/gridenv"
+	"repro/internal/gridsim"
+	"repro/internal/metrics"
+	"repro/internal/soap"
+	"repro/internal/uddi"
+	"repro/internal/vtime"
+	"repro/internal/wsdl"
+)
+
+type fixture struct {
+	portal   *Portal
+	onserve  *core.OnServe
+	registry *uddi.Registry
+	url      string
+	clock    *vtime.Scaled
+}
+
+// newFixture wires a portal over a real onServe + grid; unlike the
+// appliance tests, the SOAP container is mounted on the same mux so the
+// generated endpoints in WSDL documents resolve.
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	clk := vtime.NewScaled(20000)
+	env, err := gridenv.Start(gridenv.Options{
+		Clock: clk,
+		Sites: []gridsim.SiteConfig{{Name: "siteA", Nodes: 2, CoresPerNode: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	if _, err := env.AddUser("alice", "pw", 0); err != nil {
+		t.Fatal(err)
+	}
+	db, err := blobdb.Open(blobdb.Options{Clock: clk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	container := soap.NewServer(nil, metrics.Cost{})
+	registry := uddi.NewRegistry(clk)
+	agent := cyberaide.New(cyberaide.Options{Endpoints: env.Endpoints(), Clock: clk})
+
+	mux := http.NewServeMux()
+	hs := httptest.NewServer(mux)
+	t.Cleanup(hs.Close)
+
+	ons, err := core.New(core.Config{
+		DB: db, Container: container, Registry: registry, Agent: agent,
+		BaseURL: hs.URL, Clock: clk, PollInterval: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ons.RegisterUser("alice", core.UserAuth{MyProxyUser: "alice", Passphrase: "pw"})
+	p := New(ons, registry, nil, metrics.Cost{})
+	mux.Handle("/services/", container)
+	mux.Handle("/", p)
+	return &fixture{portal: p, onserve: ons, registry: registry, url: hs.URL, clock: clk}
+}
+
+func (f *fixture) upload(t *testing.T, filename, program string) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("file", filename)
+	io.WriteString(fw, program)
+	mw.WriteField("user", "alice")
+	mw.WriteField("description", "test upload")
+	mw.WriteField("paramName1", "x")
+	mw.WriteField("paramType1", "int")
+	mw.Close()
+	resp, err := http.Post(f.url+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload failed: %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestRegistryBrowserPage(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "browse.gsh", "echo ${x}\n")
+	resp, err := http.Get(f.url + "/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	page := string(body)
+	if !strings.Contains(page, "BrowseService") || !strings.Contains(page, "uddi:") {
+		t.Fatalf("registry page missing record:\n%s", page)
+	}
+	// Pattern filtering.
+	resp, _ = http.Get(f.url + "/registry?pattern=Nope%25")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "0 published") {
+		t.Fatalf("pattern filter broken:\n%s", body)
+	}
+}
+
+func TestRegistryPageWithoutRegistry(t *testing.T) {
+	f := newFixture(t)
+	p := New(f.onserve, nil, nil, metrics.Cost{})
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestClientStubDownload(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "stubbed.gsh", "echo ${x}\n")
+	resp, err := http.Get(f.url + "/api/client?name=StubbedService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	stub := string(body)
+	for _, want := range []string{
+		"package main",
+		"wsclient.ImportURL",
+		`"execute"`,
+		`"x": "0", // int`,
+		f.url + "/services/StubbedService",
+	} {
+		if !strings.Contains(stub, want) {
+			t.Errorf("stub missing %q:\n%s", want, stub)
+		}
+	}
+	if cd := resp.Header.Get("Content-Disposition"); !strings.Contains(cd, "StubbedService_client.go") {
+		t.Fatalf("disposition %q", cd)
+	}
+}
+
+func TestClientStubUnknownService(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.url + "/api/client?name=Ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestOutputFileDownload(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "writer.gsh", "write artifact-${x}.bin 96\necho ok\n")
+	inv, err := f.onserve.Invoke("WriterService", map[string]string{"x": "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inv.DoneChan()
+	resp, err := http.Get(f.url + "/api/outfile?ticket=" + inv.Ticket + "&name=artifact-7.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 96 {
+		t.Fatalf("status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	// Missing artifact and missing ticket.
+	resp, _ = http.Get(f.url + "/api/outfile?ticket=" + inv.Ticket + "&name=ghost.bin")
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("phantom artifact served")
+	}
+	resp, _ = http.Get(f.url + "/api/outfile?ticket=inv-000000-ffffffffffff&name=x")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestUploadParamRowsBeyondThree(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("file", "many.gsh")
+	io.WriteString(fw, "echo ${a}${b}${c}${d}\n")
+	mw.WriteField("user", "alice")
+	for i, name := range []string{"a", "b", "c", "d"} {
+		mw.WriteField("paramName"+string(rune('1'+i)), name)
+		mw.WriteField("paramType"+string(rune('1'+i)), "string")
+	}
+	mw.Close()
+	resp, err := http.Post(f.url+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	info, err := f.onserve.ServiceInfo("ManyService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Params) != 4 {
+		t.Fatalf("params %+v", info.Params)
+	}
+}
+
+func TestUploadSkipsBlankParamRows(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("file", "gaps.gsh")
+	io.WriteString(fw, "echo ${later}\n")
+	mw.WriteField("user", "alice")
+	// Row 1 and 2 blank, row 3 set — as a browser form would post it.
+	mw.WriteField("paramName1", "")
+	mw.WriteField("paramType1", "")
+	mw.WriteField("paramName3", "later")
+	mw.WriteField("paramType3", "")
+	mw.Close()
+	resp, err := http.Post(f.url+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	info, err := f.onserve.ServiceInfo("GapsService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Params) != 1 || info.Params[0].Name != "later" || info.Params[0].Type != wsdl.TypeString {
+		t.Fatalf("params %+v", info.Params)
+	}
+}
+
+func TestUploadRejectsBadParamType(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("file", "badtype.gsh")
+	io.WriteString(fw, "echo x\n")
+	mw.WriteField("user", "alice")
+	mw.WriteField("paramName1", "p")
+	mw.WriteField("paramType1", "blob")
+	mw.Close()
+	resp, err := http.Post(f.url+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestUploadMissingFile(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	mw.WriteField("user", "alice")
+	mw.Close()
+	resp, err := http.Post(f.url+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestUploadNonMultipart(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Post(f.url+"/upload", "text/plain", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestInvokeBadJSON(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Post(f.url+"/api/invoke", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestHomePage404ForUnknownPaths(t *testing.T) {
+	f := newFixture(t)
+	resp, err := http.Get(f.url + "/definitely/not/here")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestMonitoringStats(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "mon.gsh", "echo ${x}\n")
+	inv, err := f.onserve.Invoke("MonService", map[string]string{"x": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inv.DoneChan()
+	resp, err := http.Get(f.url + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mon core.Monitoring
+	json.NewDecoder(resp.Body).Decode(&mon)
+	resp.Body.Close()
+	if mon.Invocations["DONE"] != 1 {
+		t.Fatalf("invocations %+v", mon.Invocations)
+	}
+	found := false
+	for _, s := range mon.Services {
+		if s.Name == "MonService" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("services %+v", mon.Services)
+	}
+}
+
+func TestInvokeWaitOutputCancelViaAPI(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "flow.gsh", "compute 500ms\necho flow=${x}\n")
+
+	payload, _ := json.Marshal(map[string]any{
+		"service": "FlowService", "args": map[string]string{"x": "5"},
+	})
+	resp, err := http.Post(f.url+"/api/invoke", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv map[string]string
+	json.NewDecoder(resp.Body).Decode(&inv)
+	resp.Body.Close()
+	ticket := inv["ticket"]
+	if ticket == "" || inv["job_id"] == "" || inv["site"] == "" {
+		t.Fatalf("invoke reply %v", inv)
+	}
+
+	resp, err = http.Get(f.url + "/api/wait?ticket=" + ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wait map[string]string
+	json.NewDecoder(resp.Body).Decode(&wait)
+	resp.Body.Close()
+	if wait["state"] != "DONE" || wait["output"] != "flow=5\n" {
+		t.Fatalf("wait reply %v", wait)
+	}
+
+	resp, _ = http.Get(f.url + "/api/output?ticket=" + ticket)
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(out) != "flow=5\n" {
+		t.Fatalf("output %q", out)
+	}
+
+	resp, _ = http.Get(f.url + "/api/status?ticket=" + ticket)
+	var st map[string]string
+	json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if st["state"] != "DONE" {
+		t.Fatalf("status %v", st)
+	}
+
+	// Cancel of a finished invocation is a clean no-op.
+	resp, err = http.Post(f.url+"/api/cancel?ticket="+ticket, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel status %d", resp.StatusCode)
+	}
+}
+
+func TestDeleteViaAPI(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "gone.gsh", "echo x\n")
+	resp, err := http.Post(f.url+"/api/delete?name=GoneService", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(f.url + "/api/service?name=GoneService")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d after delete", resp.StatusCode)
+	}
+	// Method checks on the POST-only endpoints.
+	for _, path := range []string{"/api/delete?name=x", "/api/cancel?ticket=x", "/api/invoke"} {
+		resp, err := http.Get(f.url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestHomePageRendersUploadedService(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "shown.gsh", "echo x\n")
+	resp, err := http.Get(f.url + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	page := string(body)
+	if !strings.Contains(page, "ShownService") || !strings.Contains(page, "Upload file and generate WebService") {
+		t.Fatalf("home page:\n%s", page)
+	}
+}
+
+func TestUploadWithStageInField(t *testing.T) {
+	f := newFixture(t)
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("file", "staged.gsh")
+	io.WriteString(fw, "read a.dat\nread b.dat\n")
+	mw.WriteField("user", "alice")
+	mw.WriteField("stageIn", " a.dat , b.dat ")
+	mw.Close()
+	resp, err := http.Post(f.url+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	info, err := f.onserve.ServiceInfo("StagedService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.StageIn) != 2 || info.StageIn[0] != "a.dat" || info.StageIn[1] != "b.dat" {
+		t.Fatalf("stage-in %v", info.StageIn)
+	}
+}
+
+func TestServiceDescribeAPI(t *testing.T) {
+	f := newFixture(t)
+	f.upload(t, "desc.gsh", "echo ${x}\n")
+	resp, err := http.Get(f.url + "/api/service?name=DescService")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info core.ExecutableInfo
+	json.NewDecoder(resp.Body).Decode(&info)
+	resp.Body.Close()
+	if info.ServiceName != "DescService" || info.Owner != "alice" {
+		t.Fatalf("info %+v", info)
+	}
+}

@@ -1,0 +1,74 @@
+package soap
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client invokes SOAP operations over HTTP. HTTP defaults to
+// http.DefaultClient; experiments substitute a client whose transport
+// dials through a netsim-shaped link.
+type Client struct {
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c == nil || c.HTTP == nil {
+		return http.DefaultClient
+	}
+	return c.HTTP
+}
+
+// Call invokes operation op with params at the service endpoint url and
+// returns the <return> payload. Faults come back as *Fault errors.
+func (c *Client) Call(url, namespace, op string, params []Param, headers map[string]string) (string, error) {
+	req := &Message{Namespace: namespace, Operation: op, Params: params, Headers: headers}
+	env, err := Encode(req)
+	if err != nil {
+		return "", err
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(env))
+	if err != nil {
+		return "", err
+	}
+	httpReq.Header.Set("Content-Type", "text/xml; charset=utf-8")
+	httpReq.Header.Set("SOAPAction", namespace+"/"+op)
+	resp, err := c.httpClient().Do(httpReq)
+	if err != nil {
+		return "", fmt.Errorf("soap: call %s/%s: %w", url, op, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+	if err != nil {
+		return "", fmt.Errorf("soap: read response: %w", err)
+	}
+	msg, err := Decode(body)
+	if err != nil {
+		var f *Fault
+		if errors.As(err, &f) {
+			return "", f
+		}
+		return "", fmt.Errorf("soap: decode response (http %d): %w", resp.StatusCode, err)
+	}
+	if msg.Operation != op+"Response" {
+		return "", fmt.Errorf("soap: unexpected response element %q for op %q", msg.Operation, op)
+	}
+	ret, _ := msg.Get("return")
+	return ret, nil
+}
+
+// FetchWSDL retrieves the WSDL document of the service at url.
+func (c *Client) FetchWSDL(url string) ([]byte, error) {
+	resp, err := c.httpClient().Get(url + "?wsdl")
+	if err != nil {
+		return nil, fmt.Errorf("soap: fetch wsdl: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("soap: fetch wsdl: http %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, MaxRequestBytes))
+}

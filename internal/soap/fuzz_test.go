@@ -1,0 +1,31 @@
+package soap
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	good, _ := Encode(&Message{
+		Namespace: "urn:x", Operation: "op",
+		Params:  []Param{{Name: "a", Value: "1"}},
+		Headers: map[string]string{"T": "v"},
+	})
+	f.Add(good)
+	f.Add(EncodeFault(&Fault{Code: FaultServer, String: "boom"}))
+	f.Add([]byte("<html/>"))
+	f.Add([]byte(""))
+	f.Add([]byte(`<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"><soapenv:Body></soapenv:Body></soapenv:Envelope>`))
+	f.Add([]byte(`<soapenv:Envelope xmlns:soapenv="http://schemas.xmlsoap.org/soap/envelope/"><soapenv:Header><A>1</A></soapenv:Header><soapenv:Body><x:op xmlns:x="u"><p>v</p></x:op></soapenv:Body></soapenv:Envelope>`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must yield a named operation, and the
+		// message must re-encode without error.
+		if msg.Operation == "" {
+			t.Fatalf("decoded message without operation from %q", data)
+		}
+		if _, err := Encode(msg); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package soap
+
+import (
+	"testing"
+)
+
+func TestServiceCountersTrackRequestsAndFaults(t *testing.T) {
+	srv, hs := newContainer(t)
+	srv.Deploy(calcService(t))
+	var c Client
+	url := hs.URL + "/services/Calc"
+	// Two good calls, one fault.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Call(url, "urn:calc", "add",
+			[]Param{{Name: "x", Value: "1"}, {Name: "y", Value: "2"}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Call(url, "urn:calc", "explode", nil, nil)
+
+	stats := srv.Stats()
+	if len(stats) != 1 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if stats[0].Name != "Calc" || stats[0].Requests != 3 || stats[0].Faults != 1 {
+		t.Fatalf("counters %+v", stats[0])
+	}
+}
+
+func TestServerStatsSorted(t *testing.T) {
+	srv, _ := newContainer(t)
+	for _, name := range []string{"Zeta", "Alpha"} {
+		svc := calcService(t)
+		svc.Def.Name = name
+		srv.Deploy(svc)
+	}
+	stats := srv.Stats()
+	if len(stats) != 2 || stats[0].Name != "Alpha" || stats[1].Name != "Zeta" {
+		t.Fatalf("stats %+v", stats)
+	}
+}

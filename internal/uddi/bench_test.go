@@ -1,0 +1,62 @@
+package uddi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func seededRegistry(b *testing.B, n int) *Registry {
+	b.Helper()
+	g := NewRegistry(nil)
+	for i := 0; i < n; i++ {
+		_, err := g.Publish(Record{
+			Name:     fmt.Sprintf("Service%04d", i),
+			Endpoint: fmt.Sprintf("http://h/services/Service%04d", i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return g
+}
+
+func BenchmarkPublish(b *testing.B) {
+	g := NewRegistry(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Publish(Record{
+			Name:     fmt.Sprintf("S%09d", i),
+			Endpoint: "http://h/s",
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFindExact(b *testing.B) {
+	g := seededRegistry(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Find("Service0500"); len(got) != 1 {
+			b.Fatalf("found %d", len(got))
+		}
+	}
+}
+
+func BenchmarkFindWildcard(b *testing.B) {
+	g := seededRegistry(b, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.Find("Service05%"); len(got) != 100 {
+			b.Fatalf("found %d", len(got))
+		}
+	}
+}
+
+func BenchmarkMatchPattern(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MatchPattern("Monte%Carlo%Service", "MonteSuperCarloGridService")
+	}
+}

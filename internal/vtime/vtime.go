@@ -1,0 +1,181 @@
+// Package vtime provides clock abstractions used throughout the
+// reproduction: a real clock, a scaled clock that dilates time so that
+// experiments which took minutes on the paper's testbed finish in well
+// under a second, and a manually stepped clock for deterministic tests.
+//
+// All components that wait, time out, or timestamp events take a Clock
+// instead of calling the time package directly. Running the full protocol
+// stack under a ScaledClock keeps every byte count and event ordering real
+// while compressing wall-clock duration; this is how the figure
+// experiments reproduce 60-second transfers in milliseconds.
+package vtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used by every simulated and real
+// component in the repository.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// Sleep blocks for d of this clock's time.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the clock's time after d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed directly by the time package.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// MinSleep reports the shortest sleep the OS honours accurately.
+func (Real) MinSleep() time.Duration { return time.Millisecond }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Scaled is a Clock that runs Scale times faster than wall-clock time.
+// A Scale of 100 means one real second covers 100 virtual seconds, so a
+// component sleeping for a virtual minute blocks for 600ms of real time.
+//
+// The virtual epoch is fixed at construction, which makes experiment
+// timelines start at t=0 regardless of wall-clock start time.
+type Scaled struct {
+	scale float64
+	epoch time.Time // virtual time at start
+	start time.Time // real time at start
+}
+
+// NewScaled returns a clock running scale× real time. scale must be
+// positive; NewScaled panics otherwise because a zero or negative scale is
+// always a programming error, never a runtime condition.
+func NewScaled(scale float64) *Scaled {
+	if scale <= 0 {
+		panic("vtime: non-positive scale")
+	}
+	return &Scaled{
+		scale: scale,
+		epoch: time.Unix(0, 0).UTC(),
+		start: time.Now(),
+	}
+}
+
+// Scale reports the dilation factor.
+func (c *Scaled) Scale() float64 { return c.scale }
+
+// MinSleep reports the shortest virtual sleep this clock honours with
+// reasonable accuracy. The OS sleeps reliably down to about a
+// millisecond of real time; anything shorter is better skipped by pacing
+// code and carried as debt.
+func (c *Scaled) MinSleep() time.Duration {
+	return time.Duration(float64(time.Millisecond) * c.scale)
+}
+
+// Now implements Clock.
+func (c *Scaled) Now() time.Time {
+	real := time.Since(c.start)
+	return c.epoch.Add(time.Duration(float64(real) * c.scale))
+}
+
+// Sleep implements Clock. It blocks for d/scale of real time.
+func (c *Scaled) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) / c.scale))
+}
+
+// After implements Clock.
+func (c *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		c.Sleep(d)
+		ch <- c.Now()
+	}()
+	return ch
+}
+
+// Manual is a Clock advanced explicitly by tests. Sleepers block until
+// Advance moves the clock past their deadline.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []waiter
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewManual returns a Manual clock positioned at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (c *Manual) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: it blocks until Advance pushes the clock to or
+// past now+d.
+func (c *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-c.After(d)
+}
+
+// After implements Clock.
+func (c *Manual) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, waiter{deadline: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, releasing every sleeper whose
+// deadline has been reached.
+func (c *Manual) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	remaining := c.waiters[:0]
+	var fire []waiter
+	for _, w := range c.waiters {
+		if !w.deadline.After(now) {
+			fire = append(fire, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	c.waiters = remaining
+	c.mu.Unlock()
+	for _, w := range fire {
+		w.ch <- now
+	}
+}
+
+// Pending reports how many sleepers are currently blocked; useful for
+// deterministic tests that advance the clock only once all actors wait.
+func (c *Manual) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}

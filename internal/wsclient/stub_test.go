@@ -1,0 +1,83 @@
+package wsclient
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/wsdl"
+)
+
+func stubDef() *wsdl.ServiceDef {
+	return &wsdl.ServiceDef{
+		Name:        "DemoService",
+		Namespace:   "urn:onserve:DemoService",
+		Doc:         "runs demo.gsh on the Grid",
+		EndpointURL: "http://appliance:8080/services/DemoService",
+		Operations: []wsdl.OperationDef{
+			{Name: "execute", Params: []wsdl.ParamDef{
+				{Name: "samples", Type: wsdl.TypeInt},
+				{Name: "rate", Type: wsdl.TypeDouble},
+				{Name: "verbose", Type: wsdl.TypeBoolean},
+				{Name: "tag", Type: wsdl.TypeString},
+			}},
+			{Name: "wait", Params: []wsdl.ParamDef{{Name: "ticket", Type: wsdl.TypeString}}},
+		},
+	}
+}
+
+func TestGenerateStubParsesAsGo(t *testing.T) {
+	stub, err := GenerateStub(stubDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "stub.go", stub, 0); err != nil {
+		t.Fatalf("generated stub does not parse: %v\n%s", err, stub)
+	}
+}
+
+func TestGenerateStubContents(t *testing.T) {
+	stub, err := GenerateStub(stubDef())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(stub)
+	for _, want := range []string{
+		`const endpoint = "http://appliance:8080/services/DemoService"`,
+		`"samples": "0", // int`,
+		`"rate": "0.0", // double`,
+		`"verbose": "false", // boolean`,
+		`"tag": "", // string`,
+		`proxy.Invoke("wait"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stub missing %q", want)
+		}
+	}
+}
+
+func TestGenerateStubWithoutExecute(t *testing.T) {
+	def := &wsdl.ServiceDef{
+		Name: "Odd", Namespace: "urn:odd", EndpointURL: "http://h/services/Odd",
+		Operations: []wsdl.OperationDef{{Name: "ping"}},
+	}
+	stub, err := GenerateStub(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stub), "// ping()") {
+		t.Fatalf("operation catalogue missing:\n%s", stub)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "stub.go", stub, 0); err != nil {
+		t.Fatalf("stub does not parse: %v", err)
+	}
+}
+
+func TestGenerateStubRejectsInvalidDef(t *testing.T) {
+	if _, err := GenerateStub(&wsdl.ServiceDef{}); err == nil {
+		t.Fatal("invalid definition accepted")
+	}
+}

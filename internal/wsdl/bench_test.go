@@ -1,0 +1,28 @@
+package wsdl
+
+import "testing"
+
+func BenchmarkGenerate(b *testing.B) {
+	def := demoDef()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(def); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	doc, err := Generate(demoDef())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

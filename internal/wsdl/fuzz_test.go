@@ -1,0 +1,25 @@
+package wsdl
+
+import "testing"
+
+func FuzzParse(f *testing.F) {
+	if doc, err := Generate(demoDef()); err == nil {
+		f.Add(doc)
+	}
+	f.Add([]byte("<definitions/>"))
+	f.Add([]byte("not xml"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		def, err := Parse(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be valid and regeneratable.
+		if err := def.Validate(); err != nil {
+			t.Fatalf("parse accepted invalid definition: %v", err)
+		}
+		if _, err := Generate(def); err != nil {
+			t.Fatalf("regenerate failed: %v", err)
+		}
+	})
+}

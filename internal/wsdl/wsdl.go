@@ -1,0 +1,274 @@
+// Package wsdl models, generates, and parses WSDL 1.1 service
+// descriptions. Every service the onServe middleware generates is
+// published "together with the descriptions, the WSDL files, and the
+// service endpoint" (paper §V); clients then build call proxies from the
+// WSDL exactly as the paper's users run wsimport (see internal/wsclient).
+package wsdl
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// XSD simple types supported for operation parameters.
+const (
+	TypeString  = "string"
+	TypeInt     = "int"
+	TypeDouble  = "double"
+	TypeBoolean = "boolean"
+)
+
+// Errors.
+var (
+	ErrBadType  = errors.New("wsdl: unsupported parameter type")
+	ErrNotWSDL  = errors.New("wsdl: document is not a WSDL definition")
+	ErrBadValue = errors.New("wsdl: value does not conform to declared type")
+)
+
+// ValidType reports whether t is a supported simple type.
+func ValidType(t string) bool {
+	switch t {
+	case TypeString, TypeInt, TypeDouble, TypeBoolean:
+		return true
+	}
+	return false
+}
+
+// CheckValue validates a lexical value against a declared type.
+func CheckValue(typ, val string) error {
+	switch typ {
+	case TypeString:
+		return nil
+	case TypeInt:
+		if _, err := strconv.ParseInt(val, 10, 64); err != nil {
+			return fmt.Errorf("%w: %q is not an int", ErrBadValue, val)
+		}
+	case TypeDouble:
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return fmt.Errorf("%w: %q is not a double", ErrBadValue, val)
+		}
+	case TypeBoolean:
+		if val != "true" && val != "false" && val != "0" && val != "1" {
+			return fmt.Errorf("%w: %q is not a boolean", ErrBadValue, val)
+		}
+	default:
+		return fmt.Errorf("%w: %q", ErrBadType, typ)
+	}
+	return nil
+}
+
+// ParamDef declares one operation parameter.
+type ParamDef struct {
+	Name string
+	Type string // one of the Type* constants
+	Doc  string
+}
+
+// OperationDef declares one service operation.
+type OperationDef struct {
+	Name       string
+	Doc        string
+	Params     []ParamDef
+	ReturnType string // empty means TypeString
+}
+
+// ServiceDef is the complete description of a deployed service.
+type ServiceDef struct {
+	Name        string
+	Namespace   string
+	Doc         string
+	EndpointURL string
+	Operations  []OperationDef
+}
+
+// Operation returns the named operation, or nil.
+func (d *ServiceDef) Operation(name string) *OperationDef {
+	for i := range d.Operations {
+		if d.Operations[i].Name == name {
+			return &d.Operations[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks the definition is generatable.
+func (d *ServiceDef) Validate() error {
+	if d.Name == "" || d.Namespace == "" {
+		return errors.New("wsdl: service needs name and namespace")
+	}
+	seen := map[string]bool{}
+	for _, op := range d.Operations {
+		if op.Name == "" {
+			return errors.New("wsdl: operation needs a name")
+		}
+		if seen[op.Name] {
+			return fmt.Errorf("wsdl: duplicate operation %q", op.Name)
+		}
+		seen[op.Name] = true
+		for _, p := range op.Params {
+			if p.Name == "" {
+				return fmt.Errorf("wsdl: operation %q has unnamed parameter", op.Name)
+			}
+			if !ValidType(p.Type) {
+				return fmt.Errorf("%w: %s.%s is %q", ErrBadType, op.Name, p.Name, p.Type)
+			}
+		}
+		if op.ReturnType != "" && !ValidType(op.ReturnType) {
+			return fmt.Errorf("%w: return of %s is %q", ErrBadType, op.Name, op.ReturnType)
+		}
+	}
+	return nil
+}
+
+// Generate renders the definition as a WSDL 1.1 document.
+func Generate(d *ServiceDef) ([]byte, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	var b bytes.Buffer
+	b.WriteString(xml.Header)
+	fmt.Fprintf(&b, `<wsdl:definitions name=%q targetNamespace=%q`+"\n", d.Name, d.Namespace)
+	b.WriteString(`    xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"` + "\n")
+	b.WriteString(`    xmlns:soap="http://schemas.xmlsoap.org/wsdl/soap/"` + "\n")
+	b.WriteString(`    xmlns:xsd="http://www.w3.org/2001/XMLSchema"` + "\n")
+	fmt.Fprintf(&b, `    xmlns:tns=%q>`+"\n", d.Namespace)
+	if d.Doc != "" {
+		fmt.Fprintf(&b, "  <wsdl:documentation>%s</wsdl:documentation>\n", escape(d.Doc))
+	}
+
+	// Types: one wrapper element per operation and response.
+	fmt.Fprintf(&b, "  <wsdl:types>\n    <xsd:schema targetNamespace=%q>\n", d.Namespace)
+	for _, op := range d.Operations {
+		fmt.Fprintf(&b, "      <xsd:element name=%q><xsd:complexType><xsd:sequence>\n", op.Name)
+		for _, p := range op.Params {
+			fmt.Fprintf(&b, "        <xsd:element name=%q type=\"xsd:%s\"", p.Name, p.Type)
+			if p.Doc != "" {
+				fmt.Fprintf(&b, "><xsd:annotation><xsd:documentation>%s</xsd:documentation></xsd:annotation></xsd:element>\n", escape(p.Doc))
+			} else {
+				b.WriteString("/>\n")
+			}
+		}
+		b.WriteString("      </xsd:sequence></xsd:complexType></xsd:element>\n")
+		ret := op.ReturnType
+		if ret == "" {
+			ret = TypeString
+		}
+		fmt.Fprintf(&b, "      <xsd:element name=\"%sResponse\"><xsd:complexType><xsd:sequence>\n", op.Name)
+		fmt.Fprintf(&b, "        <xsd:element name=\"return\" type=\"xsd:%s\"/>\n", ret)
+		b.WriteString("      </xsd:sequence></xsd:complexType></xsd:element>\n")
+	}
+	b.WriteString("    </xsd:schema>\n  </wsdl:types>\n")
+
+	// Messages, portType, binding, service.
+	for _, op := range d.Operations {
+		fmt.Fprintf(&b, "  <wsdl:message name=\"%sRequest\"><wsdl:part name=\"parameters\" element=\"tns:%s\"/></wsdl:message>\n", op.Name, op.Name)
+		fmt.Fprintf(&b, "  <wsdl:message name=\"%sResponse\"><wsdl:part name=\"parameters\" element=\"tns:%sResponse\"/></wsdl:message>\n", op.Name, op.Name)
+	}
+	fmt.Fprintf(&b, "  <wsdl:portType name=\"%sPortType\">\n", d.Name)
+	for _, op := range d.Operations {
+		fmt.Fprintf(&b, "    <wsdl:operation name=%q>\n", op.Name)
+		if op.Doc != "" {
+			fmt.Fprintf(&b, "      <wsdl:documentation>%s</wsdl:documentation>\n", escape(op.Doc))
+		}
+		fmt.Fprintf(&b, "      <wsdl:input message=\"tns:%sRequest\"/>\n", op.Name)
+		fmt.Fprintf(&b, "      <wsdl:output message=\"tns:%sResponse\"/>\n", op.Name)
+		b.WriteString("    </wsdl:operation>\n")
+	}
+	b.WriteString("  </wsdl:portType>\n")
+	fmt.Fprintf(&b, "  <wsdl:binding name=\"%sBinding\" type=\"tns:%sPortType\">\n", d.Name, d.Name)
+	b.WriteString("    <soap:binding transport=\"http://schemas.xmlsoap.org/soap/http\" style=\"document\"/>\n")
+	for _, op := range d.Operations {
+		fmt.Fprintf(&b, "    <wsdl:operation name=%q><soap:operation soapAction=\"%s/%s\"/>\n", op.Name, d.Namespace, op.Name)
+		b.WriteString("      <wsdl:input><soap:body use=\"literal\"/></wsdl:input>\n")
+		b.WriteString("      <wsdl:output><soap:body use=\"literal\"/></wsdl:output>\n")
+		b.WriteString("    </wsdl:operation>\n")
+	}
+	b.WriteString("  </wsdl:binding>\n")
+	fmt.Fprintf(&b, "  <wsdl:service name=%q>\n", d.Name)
+	fmt.Fprintf(&b, "    <wsdl:port name=\"%sPort\" binding=\"tns:%sBinding\">\n", d.Name, d.Name)
+	fmt.Fprintf(&b, "      <soap:address location=%q/>\n", d.EndpointURL)
+	b.WriteString("    </wsdl:port>\n  </wsdl:service>\n</wsdl:definitions>\n")
+	return b.Bytes(), nil
+}
+
+func escape(s string) string {
+	var b bytes.Buffer
+	xml.EscapeText(&b, []byte(s))
+	return b.String()
+}
+
+// Parse reconstructs a ServiceDef from a WSDL document produced by
+// Generate (or any document using the same document/literal wrapped
+// conventions).
+func Parse(data []byte) (*ServiceDef, error) {
+	type xsdAnnotated struct {
+		Name string `xml:"name,attr"`
+		Type string `xml:"type,attr"`
+		Doc  string `xml:"annotation>documentation"`
+	}
+	type xsdElement struct {
+		Name     string         `xml:"name,attr"`
+		Children []xsdAnnotated `xml:"complexType>sequence>element"`
+	}
+	type doc struct {
+		XMLName   xml.Name     `xml:"definitions"`
+		Name      string       `xml:"name,attr"`
+		TargetNS  string       `xml:"targetNamespace,attr"`
+		Doc       string       `xml:"documentation"`
+		Elements  []xsdElement `xml:"types>schema>element"`
+		PortTypes []struct {
+			Operations []struct {
+				Name string `xml:"name,attr"`
+				Doc  string `xml:"documentation"`
+			} `xml:"operation"`
+		} `xml:"portType"`
+		Services []struct {
+			Ports []struct {
+				Address struct {
+					Location string `xml:"location,attr"`
+				} `xml:"address"`
+			} `xml:"port"`
+		} `xml:"service"`
+	}
+	var d doc
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNotWSDL, err)
+	}
+	if d.XMLName.Local != "definitions" || d.TargetNS == "" {
+		return nil, ErrNotWSDL
+	}
+	out := &ServiceDef{Name: d.Name, Namespace: d.TargetNS, Doc: strings.TrimSpace(d.Doc)}
+	if len(d.Services) > 0 && len(d.Services[0].Ports) > 0 {
+		out.EndpointURL = d.Services[0].Ports[0].Address.Location
+	}
+	elems := map[string]xsdElement{}
+	for _, e := range d.Elements {
+		elems[e.Name] = e
+	}
+	for _, pt := range d.PortTypes {
+		for _, op := range pt.Operations {
+			od := OperationDef{Name: op.Name, Doc: strings.TrimSpace(op.Doc)}
+			if req, ok := elems[op.Name]; ok {
+				for _, c := range req.Children {
+					od.Params = append(od.Params, ParamDef{
+						Name: c.Name,
+						Type: strings.TrimPrefix(c.Type, "xsd:"),
+						Doc:  strings.TrimSpace(c.Doc),
+					})
+				}
+			}
+			if resp, ok := elems[op.Name+"Response"]; ok && len(resp.Children) > 0 {
+				od.ReturnType = strings.TrimPrefix(resp.Children[0].Type, "xsd:")
+			}
+			out.Operations = append(out.Operations, od)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: parsed document invalid: %v", ErrNotWSDL, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package wsdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func demoDef() *ServiceDef {
+	return &ServiceDef{
+		Name:        "MonteCarloService",
+		Namespace:   "urn:onserve:montecarlo",
+		Doc:         "Runs the uploaded montecarlo executable on the Grid",
+		EndpointURL: "http://appliance:8080/services/MonteCarloService",
+		Operations: []OperationDef{
+			{
+				Name: "execute",
+				Doc:  "Execute the associated file on the Grid",
+				Params: []ParamDef{
+					{Name: "samples", Type: TypeInt, Doc: "number of samples"},
+					{Name: "seed", Type: TypeInt},
+					{Name: "tag", Type: TypeString},
+				},
+				ReturnType: TypeString,
+			},
+			{Name: "status", Params: []ParamDef{{Name: "ticket", Type: TypeString}}},
+		},
+	}
+}
+
+func TestGenerateParseRoundTrip(t *testing.T) {
+	def := demoDef()
+	doc, err := Generate(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(doc)
+	if err != nil {
+		t.Fatalf("parse generated doc: %v\n%s", err, doc)
+	}
+	if got.Name != def.Name || got.Namespace != def.Namespace || got.EndpointURL != def.EndpointURL {
+		t.Fatalf("identity lost: %+v", got)
+	}
+	if got.Doc != def.Doc {
+		t.Fatalf("doc lost: %q", got.Doc)
+	}
+	if len(got.Operations) != 2 {
+		t.Fatalf("ops %d", len(got.Operations))
+	}
+	ex := got.Operation("execute")
+	if ex == nil || len(ex.Params) != 3 {
+		t.Fatalf("execute op %+v", ex)
+	}
+	if ex.Params[0].Name != "samples" || ex.Params[0].Type != TypeInt || ex.Params[0].Doc != "number of samples" {
+		t.Fatalf("param %+v", ex.Params[0])
+	}
+	if ex.ReturnType != TypeString {
+		t.Fatalf("return type %q", ex.ReturnType)
+	}
+}
+
+func TestGenerateRejectsInvalid(t *testing.T) {
+	cases := []*ServiceDef{
+		{Namespace: "urn:x"}, // no name
+		{Name: "X"},          // no namespace
+		{Name: "X", Namespace: "urn:x", Operations: []OperationDef{{Name: ""}}},
+		{Name: "X", Namespace: "urn:x", Operations: []OperationDef{{Name: "a"}, {Name: "a"}}},
+		{Name: "X", Namespace: "urn:x", Operations: []OperationDef{{Name: "a", Params: []ParamDef{{Name: "p", Type: "blob"}}}}},
+		{Name: "X", Namespace: "urn:x", Operations: []OperationDef{{Name: "a", Params: []ParamDef{{Name: "", Type: TypeString}}}}},
+		{Name: "X", Namespace: "urn:x", Operations: []OperationDef{{Name: "a", ReturnType: "blob"}}},
+	}
+	for i, def := range cases {
+		if _, err := Generate(def); err == nil {
+			t.Errorf("case %d: invalid definition generated", i)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"", "<html/>", "not xml at all", "<definitions/>"} {
+		if _, err := Parse([]byte(src)); !errors.Is(err, ErrNotWSDL) {
+			t.Errorf("Parse(%q) err = %v, want ErrNotWSDL", src, err)
+		}
+	}
+}
+
+func TestGenerateEscapesDocumentation(t *testing.T) {
+	def := demoDef()
+	def.Doc = `runs <fast> & "loose"`
+	doc, err := Generate(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(doc), "<fast>") {
+		t.Fatal("documentation not escaped")
+	}
+	got, err := Parse(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Doc != def.Doc {
+		t.Fatalf("escaped doc round-trip: %q", got.Doc)
+	}
+}
+
+func TestCheckValue(t *testing.T) {
+	ok := [][2]string{
+		{TypeString, "anything"}, {TypeInt, "-42"}, {TypeDouble, "3.25"},
+		{TypeDouble, "1e9"}, {TypeBoolean, "true"}, {TypeBoolean, "0"},
+	}
+	for _, c := range ok {
+		if err := CheckValue(c[0], c[1]); err != nil {
+			t.Errorf("CheckValue(%q, %q) = %v", c[0], c[1], err)
+		}
+	}
+	bad := [][2]string{
+		{TypeInt, "3.5"}, {TypeInt, "x"}, {TypeDouble, "abc"},
+		{TypeBoolean, "yes"}, {"blob", "x"},
+	}
+	for _, c := range bad {
+		if err := CheckValue(c[0], c[1]); err == nil {
+			t.Errorf("CheckValue(%q, %q) accepted", c[0], c[1])
+		}
+	}
+}
+
+func TestValidType(t *testing.T) {
+	for _, typ := range []string{TypeString, TypeInt, TypeDouble, TypeBoolean} {
+		if !ValidType(typ) {
+			t.Errorf("ValidType(%q) = false", typ)
+		}
+	}
+	if ValidType("bytes") || ValidType("") {
+		t.Error("invalid type accepted")
+	}
+}
+
+func TestOperationLookup(t *testing.T) {
+	def := demoDef()
+	if def.Operation("execute") == nil {
+		t.Fatal("execute not found")
+	}
+	if def.Operation("nope") != nil {
+		t.Fatal("phantom operation found")
+	}
+}
+
+// Property: any definition built from sanitised fragments survives a
+// Generate/Parse round trip with operations and parameter types intact.
+func TestPropertyRoundTrip(t *testing.T) {
+	types := []string{TypeString, TypeInt, TypeDouble, TypeBoolean}
+	f := func(nOps, nParams uint8, seed uint32) bool {
+		def := &ServiceDef{
+			Name:        "Svc" + strings.Repeat("x", int(seed%5)+1),
+			Namespace:   "urn:test:svc",
+			EndpointURL: "http://h:1/services/S",
+		}
+		ops := int(nOps%4) + 1
+		for i := 0; i < ops; i++ {
+			op := OperationDef{Name: "op" + string(rune('A'+i))}
+			params := int(nParams % 5)
+			for j := 0; j < params; j++ {
+				op.Params = append(op.Params, ParamDef{
+					Name: "p" + string(rune('a'+j)),
+					Type: types[(int(seed)+i+j)%len(types)],
+				})
+			}
+			def.Operations = append(def.Operations, op)
+		}
+		doc, err := Generate(def)
+		if err != nil {
+			return false
+		}
+		got, err := Parse(doc)
+		if err != nil {
+			return false
+		}
+		if len(got.Operations) != len(def.Operations) {
+			return false
+		}
+		for i, op := range def.Operations {
+			g := got.Operations[i]
+			if g.Name != op.Name || len(g.Params) != len(op.Params) {
+				return false
+			}
+			for j, p := range op.Params {
+				if g.Params[j].Name != p.Name || g.Params[j].Type != p.Type {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
