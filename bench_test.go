@@ -151,6 +151,86 @@ func BenchmarkAblationCompression(b *testing.B) {
 	}
 }
 
+// BenchmarkInvokeHotPathCold runs the paper-faithful invocation pipeline
+// (fresh MyProxy logon, stats fetch and blob decompress per invocation)
+// — the baseline the warm benchmark is compared against.
+func BenchmarkInvokeHotPathCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationHotPath(benchOpts(), 256, 3, "stock")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "hot-path", "stock", "per_invoke_s", "virtual_s/invoke")
+		report(b, res, "hot-path", "stock", "net_out_total_kb", "grid_kb")
+	}
+}
+
+// BenchmarkInvokeHotPathWarm runs the same workload with the session
+// cache, stats TTL and blob LRU on: repeat invocations skip the logon,
+// the stats round-trip and the decompress.
+func BenchmarkInvokeHotPathWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationHotPath(benchOpts(), 256, 3, "warm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "hot-path", "warm", "per_invoke_s", "virtual_s/invoke")
+		report(b, res, "hot-path", "warm", "net_out_total_kb", "grid_kb")
+	}
+}
+
+// BenchmarkAblationSessionCache isolates the per-owner session cache
+// lever of the hot-path overhaul.
+func BenchmarkAblationSessionCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationHotPath(benchOpts(), 256, 3, "stock", "session-cache")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "hot-path", "stock", "net_out_total_kb", "stock_grid_kb")
+		report(b, res, "hot-path", "session-cache", "net_out_total_kb", "cached_grid_kb")
+	}
+}
+
+// BenchmarkAblationStatsTTL isolates the grid-stats snapshot TTL lever.
+func BenchmarkAblationStatsTTL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationHotPath(benchOpts(), 256, 3, "stock", "stats-ttl")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "hot-path", "stock", "net_out_total_kb", "stock_grid_kb")
+		report(b, res, "hot-path", "stats-ttl", "net_out_total_kb", "ttl_grid_kb")
+	}
+}
+
+// BenchmarkAblationBlobLRU isolates the decompressed-blob LRU lever (the
+// Fig. 6 repeat-decompress CPU peak).
+func BenchmarkAblationBlobLRU(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationHotPath(benchOpts(), 256, 3, "stock", "blob-lru")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "hot-path", "stock", "cpu_total_s", "stock_cpu_s")
+		report(b, res, "hot-path", "blob-lru", "cpu_total_s", "lru_cpu_s")
+	}
+}
+
+// BenchmarkAblationWALGroupCommit compares the stock one-write-per-put
+// WAL path with batched group commit (real time, on-disk WAL).
+func BenchmarkAblationWALGroupCommit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationGroupCommit(64, 8, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "group-commit", "stock", "wal_writes", "stock_wal_writes")
+		report(b, res, "group-commit", "group", "wal_writes", "group_wal_writes")
+		report(b, res, "group-commit", "group", "wal_syncs", "group_wal_syncs")
+	}
+}
+
 // BenchmarkSchedulerPolicies runs the gridsim policy ablation: the same
 // mixed workload under strict FCFS, aggressive backfill, and
 // conservative backfill with reservations.

@@ -6,9 +6,11 @@
 //	experiments -fig 7            # one figure
 //	experiments -all              # everything the paper reports
 //	experiments -scalability -scale 500
+//	experiments -hotpath          # invocation hot-path ablations -> results/hotpath.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +25,7 @@ func main() {
 		scalability = flag.Bool("scalability", false, "run the §VIII-D concurrency sweep")
 		smallJobs   = flag.Bool("smalljobs", false, "run the §VIII-B many-small-jobs check")
 		ablations   = flag.Bool("ablations", false, "run the design-choice ablations")
+		hotpath     = flag.Bool("hotpath", false, "run the invocation hot-path ablations")
 		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
 		all         = flag.Bool("all", false, "run every experiment")
 		scale       = flag.Float64("scale", 200, "virtual-time dilation factor")
@@ -30,13 +33,13 @@ func main() {
 		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
 	)
 	flag.Parse()
-	if err := run(*fig, *scalability, *smallJobs, *ablations, *baseline, *all, *scale, *outDir, *jobs); err != nil {
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *baseline, *all, *scale, *outDir, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, scalability, smallJobs, ablations, baseline, all bool, scale float64, outDir string, jobs int) error {
+func run(fig int, scalability, smallJobs, ablations, hotpath, baseline, all bool, scale float64, outDir string, jobs int) error {
 	opts := experiments.Options{Scale: scale}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -130,6 +133,29 @@ func run(fig int, scalability, smallJobs, ablations, baseline, all bool, scale f
 		fmt.Print(sched.Render())
 		fmt.Println()
 	}
+	if all || hotpath {
+		any = true
+		res, err := experiments.AblationHotPath(opts, 256, 3)
+		if err != nil {
+			return fmt.Errorf("hotpath: %w", err)
+		}
+		gc, err := experiments.AblationGroupCommit(64, 8, 16)
+		if err != nil {
+			return fmt.Errorf("hotpath group-commit: %w", err)
+		}
+		res.Rows = append(res.Rows, gc.Rows...)
+		res.Notes = append(res.Notes, gc.Notes...)
+		fmt.Print(res.Render())
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "hotpath.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 	if all || baseline {
 		any = true
 		res, err := experiments.BaselineJSE(opts, 256)
@@ -140,7 +166,7 @@ func run(fig int, scalability, smallJobs, ablations, baseline, all bool, scale f
 		fmt.Println()
 	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -baseline or -all")
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -baseline or -all")
 	}
 	return nil
 }

@@ -56,6 +56,14 @@ type Config struct {
 	StagingCache  bool
 	DirectDBWrite bool
 	UseLongPoll   bool
+	// SessionCache / StatsTTL select the invocation hot-path caches (see
+	// core.Config); both default to the paper-faithful behaviour.
+	SessionCache bool
+	StatsTTL     time.Duration
+	// BlobCacheBytes / GroupCommit tune the blob database (see
+	// blobdb.Options); zero values keep the stock behaviour.
+	BlobCacheBytes int64
+	GroupCommit    bool
 }
 
 // Image is a built appliance image: validated configuration plus the
@@ -123,6 +131,7 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 
 	db, err := blobdb.Open(blobdb.Options{
 		Dir: cfg.DBDir, Clock: cfg.Clock, Probe: cfg.Probe, Cost: cfg.Cost,
+		BlobCacheBytes: cfg.BlobCacheBytes, GroupCommit: cfg.GroupCommit,
 	})
 	if err != nil {
 		ln.Close()
@@ -153,6 +162,8 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		StagingCache:      cfg.StagingCache,
 		DirectDBWrite:     cfg.DirectDBWrite,
 		UseLongPoll:       cfg.UseLongPoll,
+		SessionCache:      cfg.SessionCache,
+		StatsTTL:          cfg.StatsTTL,
 	})
 	if err != nil {
 		db.Close()

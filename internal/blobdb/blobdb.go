@@ -63,6 +63,9 @@ type row struct {
 	comp     []byte // gzip-compressed blob
 	rawSize  int
 	storedAt time.Time
+	// gen is the row's generation, bumped on every put; the decompressed-
+	// blob cache keys on it so stale inflations never serve.
+	gen uint64
 }
 
 // walEntry is one log record.
@@ -87,6 +90,14 @@ type DB struct {
 	tables map[string]map[string]*row
 	wal    *os.File
 	closed bool
+	genSeq uint64 // generation counter for rows
+	// walWrites / walSyncs count WAL write and fsync calls (group-commit
+	// batching makes walWrites < puts under concurrency).
+	walWrites int64
+	walSyncs  int64
+
+	cache *blobCache      // decompressed-blob LRU; nil when disabled
+	gc    *groupCommitter // WAL group commit; nil when disabled
 }
 
 // Options configures Open.
@@ -99,6 +110,16 @@ type Options struct {
 	Probe *metrics.Probe
 	// Cost supplies the compression CPU rates; zero rates disable burning.
 	Cost metrics.Cost
+	// BlobCacheBytes bounds a decompressed-blob LRU in front of Get;
+	// repeat reads of an unchanged record skip the disk read and gzip
+	// inflate (and their modelled costs). Zero disables the cache — the
+	// paper-faithful behaviour, where every load decompresses.
+	BlobCacheBytes int64
+	// GroupCommit batches concurrent WAL appends into one write with a
+	// single fsync (append-before-apply preserved). Off by default: the
+	// stock path performs one unsynced write per mutation, as the paper's
+	// MySQL stand-in did. Only effective for persistent databases.
+	GroupCommit bool
 }
 
 // Open opens (creating or recovering) a database.
@@ -114,6 +135,9 @@ func Open(opts Options) (*DB, error) {
 		cost:   opts.Cost,
 		tables: make(map[string]map[string]*row),
 	}
+	if opts.BlobCacheBytes > 0 {
+		db.cache = newBlobCache(opts.BlobCacheBytes)
+	}
 	if opts.Dir == "" {
 		return db, nil
 	}
@@ -128,6 +152,9 @@ func Open(opts Options) (*DB, error) {
 		return nil, fmt.Errorf("blobdb: open wal: %w", err)
 	}
 	db.wal = wal
+	if opts.GroupCommit {
+		db.gc = startGroupCommitter(db)
+	}
 	return db, nil
 }
 
@@ -185,9 +212,13 @@ func (db *DB) apply(e *walEntry) {
 	}
 	switch e.Op {
 	case "put":
-		t[e.Key] = &row{meta: e.Meta, comp: e.Comp, rawSize: e.RawSize, storedAt: e.StoredAt}
+		db.genSeq++
+		t[e.Key] = &row{meta: e.Meta, comp: e.Comp, rawSize: e.RawSize, storedAt: e.StoredAt, gen: db.genSeq}
 	case "delete":
 		delete(t, e.Key)
+	}
+	if db.cache != nil {
+		db.cache.invalidate(e.Table + "\x00" + e.Key)
 	}
 }
 
@@ -210,6 +241,9 @@ func (db *DB) TableNames() []string {
 
 // Close flushes and closes the WAL. Further use returns ErrClosed.
 func (db *DB) Close() error {
+	if db.gc != nil {
+		db.gc.shutdown() // flushes everything queued before the WAL closes
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -298,16 +332,17 @@ func (t *Table) Put(key string, meta map[string]string, blob []byte) error {
 	// above; the real gzip pass only needs to shrink the stored bytes,
 	// and keeping it cheap avoids polluting time-dilated experiment runs
 	// with real CPU time.
-	zw, err := gzip.NewWriterLevel(&cbuf, gzip.BestSpeed)
-	if err != nil {
-		return err
-	}
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(&cbuf)
 	if _, err := zw.Write(blob); err != nil {
+		gzipWriterPool.Put(zw)
 		return err
 	}
 	if err := zw.Close(); err != nil {
+		gzipWriterPool.Put(zw)
 		return err
 	}
+	gzipWriterPool.Put(zw)
 	metaCopy := make(map[string]string, len(meta))
 	for k, v := range meta {
 		metaCopy[k] = v
@@ -315,6 +350,9 @@ func (t *Table) Put(key string, meta map[string]string, blob []byte) error {
 	entry := &walEntry{
 		Op: "put", Table: t.name, Key: key, Meta: metaCopy,
 		Comp: cbuf.Bytes(), RawSize: len(blob), StoredAt: db.clock.Now(),
+	}
+	if db.gc != nil {
+		return db.gc.commit(entry)
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -334,14 +372,19 @@ func (t *Table) Put(key string, meta map[string]string, blob []byte) error {
 func (db *DB) log(e *walEntry) error {
 	var n int
 	if db.wal != nil {
-		var buf bytes.Buffer
-		if err := writeEntry(&buf, e); err != nil {
+		buf := walBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if err := writeEntry(buf, e); err != nil {
+			walBufPool.Put(buf)
 			return err
 		}
 		n = buf.Len()
-		if _, err := db.wal.Write(buf.Bytes()); err != nil {
+		_, err := db.wal.Write(buf.Bytes())
+		walBufPool.Put(buf)
+		if err != nil {
 			return err
 		}
+		db.walWrites++
 	} else {
 		n = len(e.Comp) + 128
 	}
@@ -363,24 +406,58 @@ func (t *Table) Get(key string) (*Record, error) {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
 	}
 	db := t.db
-	db.probe.DiskRead(len(r.comp))
-	db.probe.BurnFor(r.rawSize, db.cost.DecompressBps)
-	zr, err := gzip.NewReader(bytes.NewReader(r.comp))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
-	blob, err := io.ReadAll(io.LimitReader(zr, MaxBlobBytes+1))
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
-	}
 	meta := make(map[string]string, len(r.meta))
 	for k, v := range r.meta {
 		meta[k] = v
+	}
+	cacheKey := t.name + "\x00" + key
+	if db.cache != nil {
+		if blob, ok := db.cache.get(cacheKey, r.gen); ok {
+			// Hit: no disk read, no inflate, no modelled cost — the repeat-
+			// invocation CPU peak the cache exists to remove.
+			return &Record{
+				Key: key, Meta: meta, Blob: blob,
+				StoredAt: r.storedAt, CompressedSize: len(r.comp),
+			}, nil
+		}
+	}
+	db.probe.DiskRead(len(r.comp))
+	db.probe.BurnFor(r.rawSize, db.cost.DecompressBps)
+	zr, err := pooledGzipReader(bytes.NewReader(r.comp))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	out := bytes.NewBuffer(make([]byte, 0, r.rawSize))
+	_, err = io.Copy(out, io.LimitReader(zr, MaxBlobBytes+1))
+	gzipReaderPool.Put(zr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	blob := out.Bytes()
+	if db.cache != nil {
+		db.cache.put(cacheKey, r.gen, blob)
 	}
 	return &Record{
 		Key: key, Meta: meta, Blob: blob,
 		StoredAt: r.storedAt, CompressedSize: len(r.comp),
 	}, nil
+}
+
+// BlobCacheStats reports the decompressed-blob LRU's counters; all zero
+// when the cache is disabled.
+func (db *DB) BlobCacheStats() (hits, misses, bytes int64) {
+	if db.cache == nil {
+		return 0, 0, 0
+	}
+	return db.cache.stats()
+}
+
+// WALStats reports WAL write and fsync call counts. With group commit
+// enabled, writes stay below the mutation count under concurrency.
+func (db *DB) WALStats() (writes, syncs int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.walWrites, db.walSyncs
 }
 
 // Stat returns metadata without touching the blob (no decompression).
@@ -407,6 +484,15 @@ func (t *Table) Stat(key string) (*Record, error) {
 // Delete removes a record.
 func (t *Table) Delete(key string) error {
 	entry := &walEntry{Op: "delete", Table: t.name, Key: key}
+	if t.db.gc != nil {
+		t.db.mu.RLock()
+		_, ok := t.db.tables[t.name][key]
+		t.db.mu.RUnlock()
+		if !ok {
+			return fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
+		}
+		return t.db.gc.commit(entry)
+	}
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
 	if t.db.closed {
@@ -440,6 +526,33 @@ func (t *Table) Len() int {
 	t.db.mu.RLock()
 	defer t.db.mu.RUnlock()
 	return len(t.db.tables[t.name])
+}
+
+// --- codec pools ---
+
+// The gzip codecs and WAL encode buffers are pooled: Put/Get/log run on
+// the invocation hot path, and per-call allocation of a gzip state
+// machine (~1.4 MB for writers) dominated their profiles.
+var (
+	gzipWriterPool = sync.Pool{New: func() any {
+		w, _ := gzip.NewWriterLevel(io.Discard, gzip.BestSpeed)
+		return w
+	}}
+	gzipReaderPool sync.Pool
+	walBufPool     = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// pooledGzipReader returns a reset pooled reader (or a fresh one) over r.
+// Return it with gzipReaderPool.Put when done.
+func pooledGzipReader(r io.Reader) (*gzip.Reader, error) {
+	if zr, _ := gzipReaderPool.Get().(*gzip.Reader); zr != nil {
+		if err := zr.Reset(r); err != nil {
+			gzipReaderPool.Put(zr)
+			return nil, err
+		}
+		return zr, nil
+	}
+	return gzip.NewReader(r)
 }
 
 // --- wire format: 4-byte big-endian length + JSON ---

@@ -2,12 +2,15 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cyberaide"
+	"repro/internal/gridsim"
 	"repro/internal/jsdl"
 	"repro/internal/soap"
 )
@@ -44,6 +47,11 @@ type Invocation struct {
 	StartedAt time.Time
 
 	sessionID string
+
+	// onTerminal, when set, is called exactly once after the invocation
+	// reaches a terminal state (outside the invocation lock); OnServe
+	// uses it to prune old terminal tickets.
+	onTerminal func(*Invocation)
 
 	mu      sync.Mutex
 	state   InvState
@@ -101,14 +109,19 @@ func (inv *Invocation) setOutput(out string) {
 // finish records a terminal state once.
 func (inv *Invocation) finish(s InvState, msg string, at time.Time) {
 	inv.mu.Lock()
-	defer inv.mu.Unlock()
 	if inv.state.Terminal() {
+		inv.mu.Unlock()
 		return
 	}
 	inv.state = s
 	inv.message = msg
 	inv.endedAt = at
 	close(inv.done)
+	cb := inv.onTerminal
+	inv.mu.Unlock()
+	if cb != nil {
+		cb(inv)
+	}
 }
 
 // Invoke is Use Scenario B (paper §VII-B): translate one Web-service
@@ -138,27 +151,63 @@ func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocatio
 
 	// Authentication: "Before any use of the Grid is possible, an
 	// authentication is required and performed by the Cyberaide agent."
-	sess, err := o.cfg.Agent.Authenticate(auth.MyProxyUser, auth.Passphrase, o.cfg.ProxyLifetime)
-	if err != nil {
-		return nil, fmt.Errorf("onserve: authenticate %s: %w", info.Owner, err)
-	}
-
-	// Site choice: least-loaded first, per the gatekeeper's statistics.
-	// Services with declared stage-in data may only run where the owner
-	// staged it, so later candidates are tried when submission reports a
-	// staging problem.
-	candidates, err := o.pickSites(sess.ID)
+	// With the session cache on, the previous logon's session is reused
+	// until its proxy nears expiry; an auth fault on a cached session
+	// invalidates it and the pipeline retries once with a fresh logon.
+	sessID, cached, err := o.gridSession(info.Owner, auth)
 	if err != nil {
 		return nil, err
 	}
-	stagedName := serviceName + ".gsh"
-	var (
-		site  string
-		jobID string
-	)
-	for i, candidate := range candidates {
-		if err = o.stageExecutable(sess.ID, serviceName, stagedName, candidate, rec.Blob); err != nil {
+	site, jobID, err := o.submitPipeline(sessID, serviceName, info, args, rec.Blob)
+	if err != nil && cached && isSessionFault(err) {
+		o.invalidateSession(info.Owner, sessID)
+		if sessID, _, err = o.gridSession(info.Owner, auth); err != nil {
 			return nil, err
+		}
+		site, jobID, err = o.submitPipeline(sessID, serviceName, info, args, rec.Blob)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	o.mu.Lock()
+	o.seq++
+	inv := &Invocation{
+		Ticket:    newTicket(o.seq),
+		Service:   serviceName,
+		JobID:     jobID,
+		Site:      site,
+		User:      info.Owner,
+		StartedAt: o.clock.Now(),
+		sessionID: sessID,
+		state:     InvRunning,
+		done:      make(chan struct{}),
+	}
+	inv.onTerminal = o.noteTerminal
+	o.invocations[inv.Ticket] = inv
+	o.mu.Unlock()
+
+	if o.cfg.UseLongPoll {
+		go o.waitLongPoll(inv)
+	} else {
+		go o.pollOutput(inv)
+	}
+	return inv, nil
+}
+
+// submitPipeline is the grid-facing half of Invoke: site choice, staging
+// and submission under one agent session. Services with declared
+// stage-in data may only run where the owner staged it, so later
+// candidates are tried when submission reports a staging problem.
+func (o *OnServe) submitPipeline(sessionID, serviceName string, info *ExecutableInfo, args map[string]string, blob []byte) (site, jobID string, err error) {
+	candidates, err := o.pickSites(sessionID)
+	if err != nil {
+		return "", "", err
+	}
+	stagedName := serviceName + ".gsh"
+	for i, candidate := range candidates {
+		if err = o.stageExecutable(sessionID, serviceName, stagedName, candidate, blob); err != nil {
+			return "", "", err
 		}
 		// Job description generation + submission: "a job description is
 		// generated by using the specified parameters and the name of the
@@ -173,49 +222,69 @@ func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocatio
 			WallTime:   o.cfg.InvocationTimeout,
 			StageIn:    info.StageIn,
 		}
-		jobID, err = o.cfg.Agent.Submit(sess.ID, &desc)
+		jobID, err = o.cfg.Agent.Submit(sessionID, &desc)
 		if err == nil {
-			site = candidate
-			break
+			return candidate, jobID, nil
 		}
 		// Only a missing stage-in file justifies trying the next site.
 		if len(info.StageIn) == 0 || i == len(candidates)-1 ||
 			!strings.Contains(err.Error(), "not staged") {
-			return nil, fmt.Errorf("onserve: submit: %w", err)
+			return "", "", fmt.Errorf("onserve: submit: %w", err)
 		}
 	}
-	if site == "" {
-		return nil, fmt.Errorf("onserve: submit: %w", err)
-	}
+	return "", "", fmt.Errorf("onserve: submit: %w", err)
+}
 
+// gridSession returns an authenticated session ID for owner: the cached
+// one when Config.SessionCache is on and the proxy is comfortably inside
+// its lifetime, a fresh MyProxy logon otherwise. cached reports whether
+// the ID came from the cache (and so may need the fault-retry path).
+func (o *OnServe) gridSession(owner string, auth UserAuth) (id string, cached bool, err error) {
+	if o.cfg.SessionCache {
+		o.mu.Lock()
+		s := o.sessions[owner]
+		o.mu.Unlock()
+		if s != nil && o.clock.Now().Before(s.expiresAt) {
+			return s.id, true, nil
+		}
+	}
+	sess, err := o.cfg.Agent.Authenticate(auth.MyProxyUser, auth.Passphrase, o.cfg.ProxyLifetime)
+	if err != nil {
+		return "", false, fmt.Errorf("onserve: authenticate %s: %w", owner, err)
+	}
+	if o.cfg.SessionCache {
+		// Stop reusing a little before the proxy actually expires so
+		// in-flight pipelines don't start on a session about to die.
+		margin := o.cfg.ProxyLifetime / 10
+		o.mu.Lock()
+		o.sessions[owner] = &ownerSession{id: sess.ID, expiresAt: o.clock.Now().Add(o.cfg.ProxyLifetime - margin)}
+		o.mu.Unlock()
+	}
+	return sess.ID, false, nil
+}
+
+// invalidateSession drops owner's cached session if it still is id.
+func (o *OnServe) invalidateSession(owner, id string) {
 	o.mu.Lock()
-	o.seq++
-	inv := &Invocation{
-		Ticket:    newTicket(o.seq),
-		Service:   serviceName,
-		JobID:     jobID,
-		Site:      site,
-		User:      info.Owner,
-		StartedAt: o.clock.Now(),
-		sessionID: sess.ID,
-		state:     InvRunning,
-		done:      make(chan struct{}),
+	if s := o.sessions[owner]; s != nil && s.id == id {
+		delete(o.sessions, owner)
 	}
-	o.invocations[inv.Ticket] = inv
 	o.mu.Unlock()
+}
 
-	if o.cfg.UseLongPoll {
-		go o.waitLongPoll(inv)
-	} else {
-		go o.pollOutput(inv)
-	}
-	return inv, nil
+// isSessionFault reports whether err is an agent auth fault — the only
+// failures a cached session justifies retrying with a fresh logon.
+func isSessionFault(err error) bool {
+	return errors.Is(err, cyberaide.ErrExpired) || errors.Is(err, cyberaide.ErrNoSession)
 }
 
 // pickSites asks the gatekeeper for scheduler statistics and orders the
-// stageable sites by load, least-committed first.
+// stageable sites by load, least-committed first. With Config.StatsTTL
+// set, the snapshot is cached so heavy invocation traffic stops paying
+// one SOAP round-trip per call; slightly stale load data only shifts
+// which least-loaded site wins, never correctness.
 func (o *OnServe) pickSites(sessionID string) ([]string, error) {
-	stats, err := o.cfg.Agent.GridStats(sessionID)
+	stats, err := o.gridStats(sessionID)
 	if err != nil {
 		return nil, fmt.Errorf("onserve: grid stats: %w", err)
 	}
@@ -249,6 +318,30 @@ func (o *OnServe) pickSites(sessionID string) ([]string, error) {
 	return out, nil
 }
 
+// gridStats fetches (or serves from the TTL cache) the gatekeeper's
+// scheduler statistics.
+func (o *OnServe) gridStats(sessionID string) ([]gridsim.SiteStats, error) {
+	ttl := o.cfg.StatsTTL
+	if ttl > 0 {
+		o.mu.Lock()
+		stats, at := o.stats, o.statsAt
+		o.mu.Unlock()
+		if stats != nil && o.clock.Now().Sub(at) < ttl {
+			return stats, nil
+		}
+	}
+	stats, err := o.cfg.Agent.GridStats(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	if ttl > 0 {
+		o.mu.Lock()
+		o.stats, o.statsAt = stats, o.clock.Now()
+		o.mu.Unlock()
+	}
+	return stats, nil
+}
+
 // stageExecutable makes sure the service's executable is present at the
 // target site: through the staging cache and site-to-site replication
 // when enabled, otherwise by uploading across the WAN — the paper's
@@ -264,13 +357,7 @@ func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site strin
 		// the appliance's WAN link.
 		replicateFrom := ""
 		if cached == "" {
-			prefix := serviceName + "|"
-			for k := range o.staged {
-				if strings.HasPrefix(k, prefix) {
-					replicateFrom = strings.TrimPrefix(k, prefix)
-					break
-				}
-			}
+			replicateFrom = replicaSource(o.staged, serviceName)
 		}
 		o.mu.Unlock()
 		if cached != "" {
@@ -298,6 +385,24 @@ func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site strin
 	return nil
 }
 
+// replicaSource picks the site a staged replica of serviceName is pulled
+// from. Candidates are sorted so the choice is deterministic (map
+// iteration order is not), which keeps replication fan-out stable and
+// testable.
+func replicaSource(staged map[string]string, serviceName string) string {
+	prefix := serviceName + "|"
+	best := ""
+	for k := range staged {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if site := strings.TrimPrefix(k, prefix); best == "" || site < best {
+			best = site
+		}
+	}
+	return best
+}
+
 // pollOutput is the paper's workaround loop: "the local client has to
 // request the output tentatively. Finally this may result in a service
 // customer that requests the application's output more often than
@@ -317,23 +422,24 @@ func (o *OnServe) pollOutput(inv *Invocation) {
 		if inv.State().Terminal() {
 			return // watchdog or cancel got there first
 		}
-		out, err := o.cfg.Agent.Output(inv.sessionID, inv.JobID)
-		if err == nil {
+		// Status first, then one output fetch: when the job turns out to
+		// be terminal, the snapshot taken after observing the terminal
+		// state is current by construction, so no second fetch is needed
+		// (the stock loop fetched the whole stdout twice on the DONE
+		// round).
+		st, err := o.cfg.Agent.Status(inv.sessionID, inv.JobID)
+		if err != nil {
+			continue // transient; keep polling until the watchdog decides
+		}
+		out, outErr := o.cfg.Agent.Output(inv.sessionID, inv.JobID)
+		if outErr == nil {
 			// The snapshot is written to disk on every poll, whether or
 			// not anything changed.
 			o.cfg.Probe.DiskWrite(len(out))
 			inv.setOutput(out)
 		}
-		st, err := o.cfg.Agent.Status(inv.sessionID, inv.JobID)
-		if err != nil {
-			continue // transient; keep polling until the watchdog decides
-		}
 		switch st.State {
 		case "DONE":
-			if out, err := o.cfg.Agent.Output(inv.sessionID, inv.JobID); err == nil {
-				o.cfg.Probe.DiskWrite(len(out))
-				inv.setOutput(out)
-			}
 			inv.finish(InvDone, "", o.clock.Now())
 			return
 		case "FAILED":
@@ -388,6 +494,33 @@ func (o *OnServe) waitLongPoll(inv *Invocation) {
 		}
 		inv.finish(terminal, st.Message, o.clock.Now())
 		return
+	}
+}
+
+// noteTerminal records a newly terminal invocation and prunes the
+// oldest terminal tickets beyond the retention cap, so sustained traffic
+// cannot grow the ticket map without bound. Pruned invocations stay in
+// Monitoring through the retained tallies.
+func (o *OnServe) noteTerminal(inv *Invocation) {
+	retain := o.cfg.InvocationRetention
+	if retain == 0 {
+		retain = DefaultInvocationRetention
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.termOrder = append(o.termOrder, inv.Ticket)
+	if retain < 0 {
+		return
+	}
+	for len(o.termOrder) > retain {
+		oldest := o.termOrder[0]
+		o.termOrder = o.termOrder[1:]
+		old, ok := o.invocations[oldest]
+		if !ok {
+			continue
+		}
+		o.termTallies[old.State()]++
+		delete(o.invocations, oldest)
 	}
 }
 
@@ -448,12 +581,19 @@ type Monitoring struct {
 	Invocations map[string]int      `json:"invocations"`
 }
 
-// Monitoring snapshots the middleware's counters.
+// Monitoring snapshots the middleware's counters. Tallies cover both the
+// invocations still resolvable by ticket and those already pruned by the
+// retention cap.
 func (o *OnServe) Monitoring() Monitoring {
 	m := Monitoring{
 		Services:    o.cfg.Container.Stats(),
 		Invocations: map[string]int{},
 	}
+	o.mu.Lock()
+	for st, n := range o.termTallies {
+		m.Invocations[string(st)] += n
+	}
+	o.mu.Unlock()
 	for _, inv := range o.Invocations() {
 		m.Invocations[string(inv.State())]++
 	}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/blobdb"
 	"repro/internal/cyberaide"
+	"repro/internal/gridsim"
 	"repro/internal/gsh"
 	"repro/internal/metrics"
 	"repro/internal/soap"
@@ -40,6 +41,10 @@ const (
 	DefaultInvocationTimeout = 2 * time.Hour
 	// ExecutablesTable is the blobdb table holding uploads.
 	ExecutablesTable = "executables"
+	// DefaultInvocationRetention is how many terminal invocations stay
+	// resolvable by ticket before the oldest are pruned (their state
+	// tallies are retained for Monitoring).
+	DefaultInvocationRetention = 4096
 )
 
 // Errors.
@@ -100,6 +105,23 @@ type Config struct {
 	// paper's workaround ("the local client has to request the output
 	// tentatively"), benchmarked in the poll-interval ablation.
 	UseLongPoll bool
+	// SessionCache, when true, reuses one authenticated agent session per
+	// owner across invocations until the delegated proxy nears expiry,
+	// instead of performing a fresh MyProxy logon per invocation (the
+	// paper's behaviour — "Before any use of the Grid is possible, an
+	// authentication is required"). Cached sessions are invalidated on
+	// auth faults and the invocation retried once with a fresh logon.
+	SessionCache bool
+	// StatsTTL, when positive, caches the gatekeeper scheduler-statistics
+	// snapshot pickSites orders sites by, so site selection stops costing
+	// one SOAP round-trip per invocation under load. Zero keeps the
+	// paper-faithful fetch-per-invocation.
+	StatsTTL time.Duration
+	// InvocationRetention caps terminal invocations kept in the ticket
+	// map: 0 means DefaultInvocationRetention, negative means unlimited.
+	// Pruned invocations keep contributing to Monitoring through
+	// retained per-state tallies.
+	InvocationRetention int
 }
 
 // OnServe is the middleware instance.
@@ -112,6 +134,23 @@ type OnServe struct {
 	invocations map[string]*Invocation // ticket -> invocation
 	staged      map[string]string      // service+site -> staged checksum
 	seq         int
+	// sessions caches one authenticated agent session per owner
+	// (Config.SessionCache).
+	sessions map[string]*ownerSession
+	// stats / statsAt cache the grid-stats snapshot (Config.StatsTTL).
+	stats   []gridsim.SiteStats
+	statsAt time.Time
+	// termOrder tracks terminal tickets oldest-first for pruning;
+	// termTallies retains per-state counts of pruned invocations so
+	// Monitoring stays correct.
+	termOrder   []string
+	termTallies map[InvState]int
+}
+
+// ownerSession is one cached authenticated session.
+type ownerSession struct {
+	id        string
+	expiresAt time.Time
 }
 
 // New builds an OnServe over the supplied substrates.
@@ -137,6 +176,8 @@ func New(cfg Config) (*OnServe, error) {
 		users:       make(map[string]UserAuth),
 		invocations: make(map[string]*Invocation),
 		staged:      make(map[string]string),
+		sessions:    make(map[string]*ownerSession),
+		termTallies: make(map[InvState]int),
 	}, nil
 }
 

@@ -1,0 +1,55 @@
+package experiments
+
+import "testing"
+
+func TestAblationHotPath(t *testing.T) {
+	res, err := AblationHotPath(fastOpts(), 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := ablationMap(res)
+	// Byte counts are deterministic under the shaped links: each lever
+	// removes grid-bound round-trips (MyProxy logon, stats SOAP call), so
+	// warm must send strictly less than stock.
+	stock, warm := vals["hot-path/stock/net_out_total_kb"], vals["hot-path/warm/net_out_total_kb"]
+	if warm >= stock {
+		t.Fatalf("warm path should cut grid traffic: stock %v KB vs warm %v KB", stock, warm)
+	}
+	if vals["hot-path/session-cache/net_out_total_kb"] >= stock {
+		t.Fatalf("session cache alone should cut grid traffic: %v", vals)
+	}
+	// Warm also skips the per-invocation auth burn and repeat decompress.
+	if vals["hot-path/warm/cpu_total_s"] >= vals["hot-path/stock/cpu_total_s"] {
+		t.Fatalf("warm path should burn less CPU: %v", vals)
+	}
+	// Makespans inherit host jitter through time dilation: sanity only.
+	if vals["hot-path/warm/makespan_s"] >= vals["hot-path/stock/makespan_s"]*1.5 {
+		t.Fatalf("warm path grossly slower: %v", vals)
+	}
+}
+
+func TestAblationHotPathUnknownVariant(t *testing.T) {
+	if _, err := AblationHotPath(fastOpts(), 64, 1, "nope"); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+}
+
+func TestAblationGroupCommit(t *testing.T) {
+	res, err := AblationGroupCommit(32, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := ablationMap(res)
+	if vals["group-commit/stock/wal_syncs"] != 0 {
+		t.Fatalf("stock path should not fsync per put: %v", vals)
+	}
+	if vals["group-commit/group/wal_syncs"] < 1 {
+		t.Fatalf("group commit never synced: %v", vals)
+	}
+	if vals["group-commit/group/wal_writes"] > vals["group-commit/stock/wal_writes"] {
+		t.Fatalf("batching should not increase WAL writes: %v", vals)
+	}
+	if vals["group-commit/stock/wal_writes"] != 64 {
+		t.Fatalf("stock writes %v, want one per put", vals["group-commit/stock/wal_writes"])
+	}
+}

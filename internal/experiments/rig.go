@@ -43,6 +43,13 @@ type Options struct {
 	StagingCache  bool
 	DirectDBWrite bool
 	UseLongPoll   bool
+	// SessionCache / StatsTTL / BlobCacheBytes / GroupCommit select the
+	// invocation hot-path optimisations (see core.Config and
+	// blobdb.Options); zero values keep the paper-faithful behaviour.
+	SessionCache   bool
+	StatsTTL       time.Duration
+	BlobCacheBytes int64
+	GroupCommit    bool
 	// Cost overrides the appliance CPU cost model (nil = defaults).
 	Cost *metrics.Cost
 }
@@ -159,6 +166,10 @@ func newRig(opts Options) (*rig, error) {
 		StagingCache:      opts.StagingCache,
 		DirectDBWrite:     opts.DirectDBWrite,
 		UseLongPoll:       opts.UseLongPoll,
+		SessionCache:      opts.SessionCache,
+		StatsTTL:          opts.StatsTTL,
+		BlobCacheBytes:    opts.BlobCacheBytes,
+		GroupCommit:       opts.GroupCommit,
 	})
 	if err != nil {
 		env.Close()

@@ -19,7 +19,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
+
+// encBufPool recycles envelope build buffers: every SOAP request and
+// response on the container hot path encodes through here, and the
+// envelopes are small enough that the buffers stay warm. The encoded
+// bytes are copied out before the buffer returns to the pool.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // EnvelopeNS is the SOAP 1.1 envelope namespace.
 const EnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
@@ -86,7 +93,9 @@ func (m *Message) ParamMap() map[string]string {
 
 // Encode renders the message as a SOAP envelope.
 func Encode(m *Message) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer encBufPool.Put(buf)
 	buf.WriteString(xml.Header)
 	buf.WriteString(`<soapenv:Envelope xmlns:soapenv="` + EnvelopeNS + `">`)
 	if len(m.Headers) > 0 {
@@ -97,36 +106,38 @@ func Encode(m *Message) ([]byte, error) {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			writeElem(&buf, k, m.Headers[k])
+			writeElem(buf, k, m.Headers[k])
 		}
 		buf.WriteString(`</soapenv:Header>`)
 	}
 	buf.WriteString(`<soapenv:Body>`)
 	buf.WriteString(`<ns:` + m.Operation + ` xmlns:ns="` + m.Namespace + `">`)
 	for _, p := range m.Params {
-		writeElem(&buf, p.Name, p.Value)
+		writeElem(buf, p.Name, p.Value)
 	}
 	buf.WriteString(`</ns:` + m.Operation + `>`)
 	buf.WriteString(`</soapenv:Body></soapenv:Envelope>`)
-	return buf.Bytes(), nil
+	return append([]byte(nil), buf.Bytes()...), nil
 }
 
 // EncodeFault renders a fault envelope.
 func EncodeFault(f *Fault) []byte {
-	var buf bytes.Buffer
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer encBufPool.Put(buf)
 	buf.WriteString(xml.Header)
 	buf.WriteString(`<soapenv:Envelope xmlns:soapenv="` + EnvelopeNS + `"><soapenv:Body>`)
 	buf.WriteString(`<soapenv:Fault>`)
-	writeElem(&buf, "faultcode", f.Code)
-	writeElem(&buf, "faultstring", f.String)
+	writeElem(buf, "faultcode", f.Code)
+	writeElem(buf, "faultstring", f.String)
 	if f.Actor != "" {
-		writeElem(&buf, "faultactor", f.Actor)
+		writeElem(buf, "faultactor", f.Actor)
 	}
 	if f.Detail != "" {
-		writeElem(&buf, "detail", f.Detail)
+		writeElem(buf, "detail", f.Detail)
 	}
 	buf.WriteString(`</soapenv:Fault></soapenv:Body></soapenv:Envelope>`)
-	return buf.Bytes()
+	return append([]byte(nil), buf.Bytes()...)
 }
 
 func writeElem(buf *bytes.Buffer, name, value string) {

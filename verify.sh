@@ -1,0 +1,11 @@
+#!/bin/sh
+# Tier-1 verification: vet, build, and the full test suite under the
+# race detector. -short skips nothing today but leaves room for future
+# long-haul tests to opt out of CI.
+set -eux
+
+cd "$(dirname "$0")"
+
+go vet ./...
+go build ./...
+go test -race -short ./...
