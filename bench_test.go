@@ -217,6 +217,36 @@ func BenchmarkAblationBlobLRU(b *testing.B) {
 	}
 }
 
+// BenchmarkPollHubStock runs the output-collection workload (many
+// simultaneous mostly-silent invocations) under the paper's
+// one-poller-goroutine-per-invocation loop: one status round-trip and
+// one full stdout re-fetch per invocation per tick.
+func BenchmarkPollHubStock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPollHub(benchOpts(), 16, "stock")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "poll-hub", "stock", "status_rpcs", "status_rpcs")
+		report(b, res, "poll-hub", "stock", "output_bytes_kb", "output_kb")
+	}
+}
+
+// BenchmarkPollHubSharded runs the same workload under the sharded poll
+// hub: one batched status RPC per shard tick, stdout fetched only when
+// its version changed.
+func BenchmarkPollHubSharded(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPollHub(benchOpts(), 16, "hub")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "poll-hub", "hub", "status_rpcs", "status_rpcs")
+		report(b, res, "poll-hub", "hub", "output_bytes_kb", "output_kb")
+		report(b, res, "poll-hub", "hub", "output_not_modified", "not_modified")
+	}
+}
+
 // BenchmarkAblationWALGroupCommit compares the stock one-write-per-put
 // WAL path with batched group commit (real time, on-disk WAL).
 func BenchmarkAblationWALGroupCommit(b *testing.B) {

@@ -60,6 +60,10 @@ type Config struct {
 	// core.Config); both default to the paper-faithful behaviour.
 	SessionCache bool
 	StatsTTL     time.Duration
+	// PollHub / PollHubShards select the sharded batched status collector
+	// (see core.Config); off keeps one poller goroutine per invocation.
+	PollHub       bool
+	PollHubShards int
 	// BlobCacheBytes / GroupCommit tune the blob database (see
 	// blobdb.Options); zero values keep the stock behaviour.
 	BlobCacheBytes int64
@@ -164,6 +168,8 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		UseLongPoll:       cfg.UseLongPoll,
 		SessionCache:      cfg.SessionCache,
 		StatsTTL:          cfg.StatsTTL,
+		PollHub:           cfg.PollHub,
+		PollHubShards:     cfg.PollHubShards,
 	})
 	if err != nil {
 		db.Close()

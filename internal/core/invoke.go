@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -187,9 +188,12 @@ func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocatio
 	o.invocations[inv.Ticket] = inv
 	o.mu.Unlock()
 
-	if o.cfg.UseLongPoll {
+	switch {
+	case o.hub != nil:
+		o.hub.register(inv)
+	case o.cfg.UseLongPoll:
 		go o.waitLongPoll(inv)
-	} else {
+	default:
 		go o.pollOutput(inv)
 	}
 	return inv, nil
@@ -297,10 +301,13 @@ func (o *OnServe) pickSites(sessionID string) ([]string, error) {
 		if _, ok := o.cfg.Agent.SiteURL(st.Name); !ok {
 			continue // no staging endpoint for this site
 		}
-		cands = append(cands, cand{
-			name: st.Name,
-			load: float64(st.Slots-st.FreeSlots+st.Queued) / float64(st.Slots),
-		})
+		// A drained site (zero slots) counts as fully loaded: dividing by
+		// Slots would yield NaN/Inf and corrupt the sort order.
+		load := math.Inf(1)
+		if st.Slots > 0 {
+			load = float64(st.Slots-st.FreeSlots+st.Queued) / float64(st.Slots)
+		}
+		cands = append(cands, cand{name: st.Name, load: load})
 	}
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("onserve: no stageable site available")
@@ -427,6 +434,7 @@ func (o *OnServe) pollOutput(inv *Invocation) {
 		// state is current by construction, so no second fetch is needed
 		// (the stock loop fetched the whole stdout twice on the DONE
 		// round).
+		o.collector.statusRPCs.Add(1)
 		st, err := o.cfg.Agent.Status(inv.sessionID, inv.JobID)
 		if err != nil {
 			continue // transient; keep polling until the watchdog decides
@@ -435,6 +443,9 @@ func (o *OnServe) pollOutput(inv *Invocation) {
 		if outErr == nil {
 			// The snapshot is written to disk on every poll, whether or
 			// not anything changed.
+			o.collector.outputFetches.Add(1)
+			o.collector.outputBytes.Add(uint64(len(out)))
+			o.collector.pollDiskWrites.Add(1)
 			o.cfg.Probe.DiskWrite(len(out))
 			inv.setOutput(out)
 		}
@@ -468,6 +479,7 @@ func (o *OnServe) waitLongPoll(inv *Invocation) {
 		if inv.State().Terminal() {
 			return
 		}
+		o.collector.statusRPCs.Add(1)
 		st, err := o.cfg.Agent.Wait(inv.sessionID, inv.JobID, 30*time.Second)
 		if err != nil {
 			// Transient gatekeeper trouble: back off one poll interval and
@@ -489,6 +501,9 @@ func (o *OnServe) waitLongPoll(inv *Invocation) {
 			continue // long-poll round elapsed without a terminal state
 		}
 		if out, err := o.cfg.Agent.Output(inv.sessionID, inv.JobID); err == nil {
+			o.collector.outputFetches.Add(1)
+			o.collector.outputBytes.Add(uint64(len(out)))
+			o.collector.pollDiskWrites.Add(1)
 			o.cfg.Probe.DiskWrite(len(out))
 			inv.setOutput(out)
 		}

@@ -45,6 +45,9 @@ const (
 	// resolvable by ticket before the oldest are pruned (their state
 	// tallies are retained for Monitoring).
 	DefaultInvocationRetention = 4096
+	// DefaultPollHubShards is how many shard workers the poll hub runs
+	// when Config.PollHubShards is unset.
+	DefaultPollHubShards = 4
 )
 
 // Errors.
@@ -122,12 +125,30 @@ type Config struct {
 	// Pruned invocations keep contributing to Monitoring through
 	// retained per-state tallies.
 	InvocationRetention int
+	// PollHub replaces the per-invocation tentative pollers with a small
+	// fixed set of shard workers: each tick a shard batches all its
+	// in-flight job IDs into one gatekeeper status-batch round-trip per
+	// session, and fetches stdout only when the reply's output version
+	// says it changed (conditional fetch; an unchanged snapshot costs
+	// zero body bytes and zero disk writes). Watchdog and cancel
+	// semantics are identical to the stock poller. Off by default: the
+	// paper-faithful one-goroutine-per-invocation poller stays the
+	// baseline, and the hub is measured as an ablation.
+	PollHub bool
+	// PollHubShards is the hub's worker count; 0 means
+	// DefaultPollHubShards. Ignored unless PollHub is set.
+	PollHubShards int
 }
 
 // OnServe is the middleware instance.
 type OnServe struct {
 	cfg   Config
 	clock vtime.Clock
+	// hub is the sharded poller (Config.PollHub); nil runs the stock
+	// per-invocation collection paths.
+	hub *pollHub
+	// collector tallies the output-collection work all three paths do.
+	collector collectorCounters
 
 	mu          sync.Mutex
 	users       map[string]UserAuth    // portal user -> myproxy logon
@@ -170,7 +191,10 @@ func New(cfg Config) (*OnServe, error) {
 	if cfg.ProxyLifetime <= 0 {
 		cfg.ProxyLifetime = 12 * time.Hour
 	}
-	return &OnServe{
+	if cfg.PollHubShards <= 0 {
+		cfg.PollHubShards = DefaultPollHubShards
+	}
+	o := &OnServe{
 		cfg:         cfg,
 		clock:       cfg.Clock,
 		users:       make(map[string]UserAuth),
@@ -178,7 +202,11 @@ func New(cfg Config) (*OnServe, error) {
 		staged:      make(map[string]string),
 		sessions:    make(map[string]*ownerSession),
 		termTallies: make(map[InvState]int),
-	}, nil
+	}
+	if cfg.PollHub {
+		o.hub = newPollHub(o, cfg.PollHubShards)
+	}
+	return o, nil
 }
 
 // RegisterUser records the MyProxy logon onServe performs when executing

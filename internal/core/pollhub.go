@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gram"
+)
+
+// CollectorStats counts the work the output-collection path performs,
+// whichever path is active (stock tentative poller, long-poll wait, or
+// the sharded hub). The poll-hub ablation reads it to compare gatekeeper
+// round-trips, bytes fetched and disk writes across variants.
+type CollectorStats struct {
+	// StatusRPCs is the number of gatekeeper status round-trips: one per
+	// Status/Wait call, one per status-batch chunk.
+	StatusRPCs uint64 `json:"status_rpcs"`
+	// OutputFetches counts output fetches that returned a body.
+	OutputFetches uint64 `json:"output_fetches"`
+	// OutputNotModified counts polls that confirmed an unchanged
+	// snapshot without transferring it (version match or 304).
+	OutputNotModified uint64 `json:"output_not_modified"`
+	// OutputBytes is the total stdout bytes fetched from the gatekeeper.
+	OutputBytes uint64 `json:"output_bytes"`
+	// PollDiskWrites counts local snapshot spills to the appliance disk.
+	PollDiskWrites uint64 `json:"poll_disk_writes"`
+}
+
+// collectorCounters is the mutable, atomically updated form.
+type collectorCounters struct {
+	statusRPCs        atomic.Uint64
+	outputFetches     atomic.Uint64
+	outputNotModified atomic.Uint64
+	outputBytes       atomic.Uint64
+	pollDiskWrites    atomic.Uint64
+}
+
+// CollectorStats snapshots the collection-path counters.
+func (o *OnServe) CollectorStats() CollectorStats {
+	return CollectorStats{
+		StatusRPCs:        o.collector.statusRPCs.Load(),
+		OutputFetches:     o.collector.outputFetches.Load(),
+		OutputNotModified: o.collector.outputNotModified.Load(),
+		OutputBytes:       o.collector.outputBytes.Load(),
+		PollDiskWrites:    o.collector.pollDiskWrites.Load(),
+	}
+}
+
+// pollHub is the sharded replacement for the paper's per-invocation
+// tentative pollers (Config.PollHub). Invocations are hashed onto a
+// small fixed set of shards; each shard worker wakes once per poll
+// interval, batches all its in-flight job IDs into one gatekeeper
+// status-batch round-trip per session, and fetches stdout only for jobs
+// whose output version moved since the last fetch. Watchdog and cancel
+// semantics are exactly the stock poller's: a per-invocation watchdog
+// still cancels and kills overdue jobs, and externally cancelled jobs
+// are finished from the batched status like any other terminal state.
+type pollHub struct {
+	o      *OnServe
+	shards []*hubShard
+}
+
+// hubShard owns a subset of in-flight invocations. Its worker goroutine
+// is lazy: started by the first registration, exits when the shard
+// drains (OnServe has no shutdown hook, so idle shards must not leak
+// goroutines).
+type hubShard struct {
+	hub *pollHub
+
+	mu      sync.Mutex
+	jobs    map[string]*hubJob // ticket -> entry
+	running bool
+}
+
+// hubJob is one invocation's hub-side state. After registration it is
+// only touched by the shard worker.
+type hubJob struct {
+	inv *Invocation
+	wd  *Watchdog
+	// lastVer is the output version of the snapshot last stored in the
+	// invocation; 0 before any output was seen.
+	lastVer uint64
+}
+
+func newPollHub(o *OnServe, shards int) *pollHub {
+	h := &pollHub{o: o}
+	for i := 0; i < shards; i++ {
+		h.shards = append(h.shards, &hubShard{hub: h, jobs: make(map[string]*hubJob)})
+	}
+	return h
+}
+
+// register hands a freshly submitted invocation to its shard, arming the
+// same watchdog the stock poller would.
+func (h *pollHub) register(inv *Invocation) {
+	o := h.o
+	wd := NewWatchdog(o.clock, o.cfg.InvocationTimeout, func() {
+		o.cfg.Agent.Cancel(inv.sessionID, inv.JobID)
+		inv.finish(InvKilled, fmt.Sprintf("watchdog: invocation exceeded %v", o.cfg.InvocationTimeout), o.clock.Now())
+	})
+	sh := h.shards[shardIndex(inv.Ticket, len(h.shards))]
+	sh.mu.Lock()
+	sh.jobs[inv.Ticket] = &hubJob{inv: inv, wd: wd}
+	if !sh.running {
+		sh.running = true
+		go sh.run()
+	}
+	sh.mu.Unlock()
+}
+
+// shardIndex maps a ticket onto a shard.
+func shardIndex(ticket string, shards int) int {
+	f := fnv.New32a()
+	f.Write([]byte(ticket))
+	return int(f.Sum32() % uint32(shards))
+}
+
+// run is the shard worker loop: sleep one poll interval, reap terminal
+// entries, then poll the survivors in one batch per session (tokens are
+// signed per credential, so a batch cannot span sessions).
+func (sh *hubShard) run() {
+	o := sh.hub.o
+	for {
+		o.clock.Sleep(o.cfg.PollInterval)
+		sh.mu.Lock()
+		for ticket, hj := range sh.jobs {
+			if hj.inv.State().Terminal() {
+				hj.wd.Stop()
+				delete(sh.jobs, ticket)
+			}
+		}
+		if len(sh.jobs) == 0 {
+			// Exit under the lock so a concurrent register either sees
+			// running==true and relies on this loop, or restarts it.
+			sh.running = false
+			sh.mu.Unlock()
+			return
+		}
+		groups := make(map[string][]*hubJob)
+		for _, hj := range sh.jobs {
+			groups[hj.inv.sessionID] = append(groups[hj.inv.sessionID], hj)
+		}
+		sh.mu.Unlock()
+		for sessionID, batch := range groups {
+			sh.pollBatch(sessionID, batch)
+		}
+	}
+}
+
+// pollBatch issues one status-batch round-trip (per gram.MaxBatch chunk)
+// for the session's jobs and processes each entry in isolation.
+func (sh *hubShard) pollBatch(sessionID string, batch []*hubJob) {
+	o := sh.hub.o
+	sort.Slice(batch, func(i, j int) bool { return batch[i].inv.JobID < batch[j].inv.JobID })
+	ids := make([]string, len(batch))
+	for i, hj := range batch {
+		ids[i] = hj.inv.JobID
+	}
+	o.collector.statusRPCs.Add(uint64((len(ids) + gram.MaxBatch - 1) / gram.MaxBatch))
+	entries, err := o.cfg.Agent.StatusBatch(sessionID, ids)
+	if err != nil || len(entries) != len(batch) {
+		return // transport trouble: retry next tick; the watchdog decides
+	}
+	for i, hj := range batch {
+		sh.collectOne(sessionID, hj, entries[i])
+	}
+}
+
+// collectOne applies one batch entry to its invocation: fetch output if
+// (and only if) the version moved, then record a terminal state. A
+// per-job error in the entry never affects its batch-mates.
+func (sh *hubShard) collectOne(sessionID string, hj *hubJob, e gram.BatchEntry) {
+	o := sh.hub.o
+	inv := hj.inv
+	if e.Error != "" {
+		return // isolated per-job failure: keep polling until the watchdog decides
+	}
+	if inv.State().Terminal() {
+		return // cancel or watchdog got there between batching and now
+	}
+	terminal := e.State == "DONE" || e.State == "FAILED" ||
+		e.State == "CANCELLED" || e.State == "TIMEOUT"
+	if e.OutputVersion != hj.lastVer {
+		out, ver, changed, err := o.cfg.Agent.OutputIfChanged(sessionID, inv.JobID, hj.lastVer)
+		if err != nil {
+			if terminal {
+				return // retry next tick rather than finish with stale output
+			}
+		} else if changed {
+			hj.lastVer = ver
+			o.collector.outputFetches.Add(1)
+			o.collector.outputBytes.Add(uint64(len(out)))
+			o.collector.pollDiskWrites.Add(1)
+			o.cfg.Probe.DiskWrite(len(out))
+			inv.setOutput(out)
+		} else {
+			o.collector.outputNotModified.Add(1)
+		}
+	} else {
+		// The gatekeeper reads job state before the output version, so a
+		// terminal state with an unchanged version means the snapshot we
+		// already hold is the final output — no fetch at all.
+		o.collector.outputNotModified.Add(1)
+	}
+	if !terminal {
+		return
+	}
+	switch e.State {
+	case "DONE":
+		inv.finish(InvDone, "", o.clock.Now())
+	case "FAILED":
+		inv.finish(InvFailed, e.Message, o.clock.Now())
+	case "CANCELLED":
+		inv.finish(InvCancelled, e.Message, o.clock.Now())
+	case "TIMEOUT":
+		inv.finish(InvKilled, e.Message, o.clock.Now())
+	}
+	// The run loop reaps the now-terminal entry (and stops its watchdog)
+	// on the next tick.
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -168,12 +169,14 @@ func (a *Agent) SiteURL(site string) (string, bool) {
 	return url, ok
 }
 
-// Sites lists the sites the agent can stage to.
+// Sites lists the sites the agent can stage to, sorted so callers see a
+// deterministic order rather than map iteration order.
 func (a *Agent) Sites() []string {
 	out := make([]string, 0, len(a.endpoints.FTPURLs))
 	for s := range a.endpoints.FTPURLs {
 		out = append(out, s)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -252,6 +255,27 @@ func (a *Agent) Status(sessionID, jobID string) (*gram.StatusReply, error) {
 		return nil, err
 	}
 	return sess.gram.Status(jobID)
+}
+
+// StatusBatch polls many jobs in one gatekeeper round-trip per
+// gram.MaxBatch chunk; per-job failures come back in each entry's Error
+// field (the poll hub's tick primitive).
+func (a *Agent) StatusBatch(sessionID string, jobIDs []string) ([]gram.BatchEntry, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return sess.gram.StatusBatch(jobIDs)
+}
+
+// OutputIfChanged fetches the job's stdout only when its output version
+// moved past since; an unchanged snapshot costs zero body bytes.
+func (a *Agent) OutputIfChanged(sessionID, jobID string, since uint64) (out string, version uint64, changed bool, err error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return "", 0, false, err
+	}
+	return sess.gram.OutputIfChanged(jobID, since)
 }
 
 // Output fetches the job's stdout snapshot (tentative polling target).

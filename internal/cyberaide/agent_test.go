@@ -56,7 +56,7 @@ func newWorld(t *testing.T) *world {
 	ftpURLs := map[string]string{}
 	for _, name := range grid.SiteNames() {
 		site, _ := grid.Site(name)
-		s := httptest.NewServer(gridftp.NewServer(site.Store(), trust, clk))
+		s := httptest.NewServer(gridftp.NewServer(site.Store(), trust, clk, nil))
 		t.Cleanup(s.Close)
 		ftpURLs[name] = s.URL
 	}
@@ -251,8 +251,41 @@ func TestGridStatsAndSites(t *testing.T) {
 	if err != nil || len(stats) != 2 {
 		t.Fatalf("stats %v err %v", stats, err)
 	}
-	if got := w.agent.Sites(); len(got) != 2 {
-		t.Fatalf("sites %v", got)
+	if got := w.agent.Sites(); len(got) != 2 || got[0] != "siteA" || got[1] != "siteB" {
+		t.Fatalf("sites not sorted: %v", got)
+	}
+}
+
+func TestAgentStatusBatchAndConditionalOutput(t *testing.T) {
+	w := newWorld(t)
+	sess, _ := w.agent.Authenticate("alice", "pw", time.Hour)
+	w.agent.Upload(sess.ID, "siteA", "hi.gsh", []byte("echo hi\n"))
+	jobID, err := w.agent.Submit(sess.ID, &jsdl.Description{Executable: "hi.gsh", Site: "siteA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, _ := w.grid.Job(jobID)
+	select {
+	case <-job.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job stuck")
+	}
+	entries, err := w.agent.StatusBatch(sess.ID, []string{jobID, "siteA:job-424242"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].State != "DONE" || entries[1].Error == "" {
+		t.Fatalf("entries %+v", entries)
+	}
+	out, ver, changed, err := w.agent.OutputIfChanged(sess.ID, jobID, 0)
+	if err != nil || !changed || out != "hi\n" || ver != entries[0].OutputVersion {
+		t.Fatalf("fetch: out=%q ver=%d changed=%v err=%v", out, ver, changed, err)
+	}
+	if _, _, changed, err = w.agent.OutputIfChanged(sess.ID, jobID, ver); err != nil || changed {
+		t.Fatalf("unchanged snapshot refetched: changed=%v err=%v", changed, err)
+	}
+	if _, err := w.agent.StatusBatch("no-such-session", []string{jobID}); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("got %v", err)
 	}
 }
 

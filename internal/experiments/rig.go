@@ -50,6 +50,10 @@ type Options struct {
 	StatsTTL       time.Duration
 	BlobCacheBytes int64
 	GroupCommit    bool
+	// PollHub / PollHubShards select the sharded batched status collector
+	// (see core.Config); off keeps the paper's per-invocation poller.
+	PollHub       bool
+	PollHubShards int
 	// Cost overrides the appliance CPU cost model (nil = defaults).
 	Cost *metrics.Cost
 }
@@ -170,6 +174,8 @@ func newRig(opts Options) (*rig, error) {
 		StatsTTL:          opts.StatsTTL,
 		BlobCacheBytes:    opts.BlobCacheBytes,
 		GroupCommit:       opts.GroupCommit,
+		PollHub:           opts.PollHub,
+		PollHubShards:     opts.PollHubShards,
 	})
 	if err != nil {
 		env.Close()

@@ -50,6 +50,34 @@ type StatusReply struct {
 	Site    string `json:"site"`
 }
 
+// MaxBatch caps how many jobs one status-batch request may name; the
+// client chunks larger sets transparently.
+const MaxBatch = 256
+
+// batchRequest is the status-batch request body.
+type batchRequest struct {
+	Jobs []string `json:"jobs"`
+}
+
+// BatchEntry is one job's answer inside a status-batch reply. Error is
+// set (and the status fields empty) when this entry failed — a bad job
+// never fails its batch. OutputVersion mirrors the ETag of /gram/output
+// so pollers can skip fetching unchanged stdout.
+type BatchEntry struct {
+	JobID         string `json:"job_id"`
+	State         string `json:"state,omitempty"`
+	Message       string `json:"message,omitempty"`
+	Site          string `json:"site,omitempty"`
+	OutputVersion uint64 `json:"output_version,omitempty"`
+	Error         string `json:"error,omitempty"`
+}
+
+// BatchReply answers a status-batch request; Entries is parallel to the
+// requested job list.
+type BatchReply struct {
+	Entries []BatchEntry `json:"entries"`
+}
+
 // SubmitReply returns the assigned job ID.
 type SubmitReply struct {
 	JobID string `json:"job_id"`
@@ -100,10 +128,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.submit(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/gram/status":
 		s.withJob(w, r, func(j *gridsim.Job) { writeJSON(w, http.StatusOK, statusOf(j)) })
+	case r.Method == http.MethodPost && r.URL.Path == "/gram/status-batch":
+		s.statusBatch(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/gram/output":
 		s.withJob(w, r, func(j *gridsim.Job) {
+			out, ver := j.StdoutVersioned()
+			etag := outputETag(ver)
+			w.Header().Set("ETag", etag)
+			if r.Header.Get("If-None-Match") == etag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			io.WriteString(w, j.Stdout())
+			io.WriteString(w, out)
 		})
 	case r.Method == http.MethodGet && r.URL.Path == "/gram/outfile":
 		s.withJob(w, r, func(j *gridsim.Job) {
@@ -157,6 +194,52 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SubmitReply{JobID: job.ID})
+}
+
+// statusBatch answers one status poll for many jobs at once (token
+// signed over the body, like submit). Failures are reported per entry:
+// an unknown or foreign job yields an entry with Error set and never
+// fails the batch.
+func (s *Server) statusBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBody+1))
+	if err != nil || len(body) > MaxBody {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "gram: bad body"})
+		return
+	}
+	id, err := s.authenticate(r, body)
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: err.Error()})
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: fmt.Sprintf("%v: %v", ErrBadInput, err)})
+		return
+	}
+	if len(req.Jobs) == 0 || len(req.Jobs) > MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorReply{
+			Error: fmt.Sprintf("%v: batch of %d jobs (1..%d)", ErrBadInput, len(req.Jobs), MaxBatch),
+		})
+		return
+	}
+	jobs, errs := s.grid.Jobs(req.Jobs)
+	entries := make([]BatchEntry, len(req.Jobs))
+	for i, jobID := range req.Jobs {
+		entries[i].JobID = jobID
+		switch {
+		case errs[i] != nil:
+			entries[i].Error = fmt.Sprintf("%v: %s", ErrNoSuchJob, jobID)
+		case jobs[i].Desc.Owner != id:
+			entries[i].Error = ErrNotOwner.Error()
+		default:
+			st := statusOf(jobs[i])
+			entries[i].State = st.State
+			entries[i].Message = st.Message
+			entries[i].Site = st.Site
+			entries[i].OutputVersion = jobs[i].StdoutVersion()
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchReply{Entries: entries})
 }
 
 // withJob authenticates (token over "job:<id>"), resolves and authorizes
@@ -319,6 +402,87 @@ func (c *Client) Output(jobID string) (string, error) {
 		return "", err
 	}
 	return string(raw), nil
+}
+
+// StatusBatch fetches many job statuses (plus output versions) in
+// ⌈len(jobIDs)/MaxBatch⌉ round-trips instead of one per job. Entries
+// come back parallel to jobIDs; per-job failures are reported in each
+// entry's Error field, so one bad job never fails the rest.
+func (c *Client) StatusBatch(jobIDs []string) ([]BatchEntry, error) {
+	entries := make([]BatchEntry, 0, len(jobIDs))
+	for start := 0; start < len(jobIDs); start += MaxBatch {
+		end := min(start+MaxBatch, len(jobIDs))
+		body, err := json.Marshal(batchRequest{Jobs: jobIDs[start:end]})
+		if err != nil {
+			return nil, err
+		}
+		tok, err := c.sign(body)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/gram/status-batch", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(TokenHeader, tok)
+		req.Header.Set("Content-Type", "application/json")
+		var reply BatchReply
+		if err := c.do(req, &reply); err != nil {
+			return nil, err
+		}
+		if len(reply.Entries) != end-start {
+			return nil, fmt.Errorf("%w: batch answered %d of %d entries", ErrBadInput, len(reply.Entries), end-start)
+		}
+		entries = append(entries, reply.Entries...)
+	}
+	return entries, nil
+}
+
+// OutputIfChanged fetches stdout only when the job's output version
+// differs from since (If-None-Match on the version ETag). When the
+// snapshot is unchanged the reply is 304 — zero body bytes — and
+// changed is false. On a fetch, version is the served snapshot's
+// version, to be passed back as since next time.
+func (c *Client) OutputIfChanged(jobID string, since uint64) (out string, version uint64, changed bool, err error) {
+	req, err := c.jobRequest("/gram/output", jobID, nil)
+	if err != nil {
+		return "", 0, false, err
+	}
+	req.Header.Set("If-None-Match", outputETag(since))
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		io.Copy(io.Discard, resp.Body)
+		return "", since, false, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, gridsim.MaxJobOutputBytes+1))
+	if err != nil {
+		return "", 0, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", 0, false, decodeError(resp.StatusCode, body)
+	}
+	version = since
+	if v, ok := parseOutputETag(resp.Header.Get("ETag")); ok {
+		version = v
+	}
+	return string(body), version, true, nil
+}
+
+// outputETag formats an output version as the entity tag served by
+// /gram/output.
+func outputETag(v uint64) string { return fmt.Sprintf(`"v%d"`, v) }
+
+// parseOutputETag inverts outputETag.
+func parseOutputETag(tag string) (uint64, bool) {
+	if len(tag) < 4 || tag[0] != '"' || tag[1] != 'v' || tag[len(tag)-1] != '"' {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(tag[2:len(tag)-1], 10, 64)
+	return v, err == nil
 }
 
 // OutputFile fetches a named output artifact.

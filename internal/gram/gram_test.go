@@ -189,6 +189,135 @@ func TestOwnershipEnforced(t *testing.T) {
 	}
 }
 
+func TestStatusBatch(t *testing.T) {
+	f := newFixture(t)
+	id1, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := f.client.Submit(f.desc("writer.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.WaitTerminal(id1, f.clock, time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.WaitTerminal(id2, f.clock, time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := f.client.StatusBatch([]string{id1, "siteA:job-999999", id2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	if entries[0].JobID != id1 || entries[0].State != "DONE" || entries[0].Error != "" {
+		t.Fatalf("entry 0: %+v", entries[0])
+	}
+	if entries[0].OutputVersion == 0 {
+		t.Fatalf("hello.gsh emitted output but version is 0")
+	}
+	if entries[1].Error == "" || entries[1].State != "" {
+		t.Fatalf("bad job did not error per-entry: %+v", entries[1])
+	}
+	if entries[2].JobID != id2 || entries[2].State != "DONE" || entries[2].Error != "" {
+		t.Fatalf("entry 2 after bad entry: %+v", entries[2])
+	}
+}
+
+func TestStatusBatchOwnershipPerEntry(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := f.other.StatusBatch([]string{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Error == "" || entries[0].State != "" {
+		t.Fatalf("bob read alice's job in a batch: %+v", entries[0])
+	}
+}
+
+func TestStatusBatchRejectsEmpty(t *testing.T) {
+	f := newFixture(t)
+	// A zero-length batch is degenerate client-side (no chunks, no
+	// round-trips, empty result).
+	entries, err := f.client.StatusBatch(nil)
+	if err != nil || len(entries) != 0 {
+		t.Fatalf("entries %v err %v", entries, err)
+	}
+}
+
+func TestConditionalOutputFetch(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("hello.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.client.WaitTerminal(id, f.clock, time.Second, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	out, ver, changed, err := f.client.OutputIfChanged(id, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || out != "hello\n" || ver == 0 {
+		t.Fatalf("first fetch: changed=%v out=%q ver=%d", changed, out, ver)
+	}
+	// Re-fetch at the served version: 304, zero bytes.
+	out2, ver2, changed2, err := f.client.OutputIfChanged(id, ver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed2 || out2 != "" || ver2 != ver {
+		t.Fatalf("unchanged fetch: changed=%v out=%q ver=%d", changed2, out2, ver2)
+	}
+	// The batch reply advertises the same version the ETag carries.
+	entries, err := f.client.StatusBatch([]string{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].OutputVersion != ver {
+		t.Fatalf("batch version %d, ETag version %d", entries[0].OutputVersion, ver)
+	}
+}
+
+func TestConditionalOutputSeesNewOutput(t *testing.T) {
+	f := newFixture(t)
+	id, err := f.client.Submit(f.desc("slow.gsh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Poll conditionally until output appears, then confirm a later poll
+	// at the same version returns 304 or fresh output with a higher
+	// version — never a stale snapshot.
+	deadline := time.Now().Add(5 * time.Second)
+	var ver uint64
+	for {
+		out, v, changed, err := f.client.OutputIfChanged(id, ver)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			if v <= ver {
+				t.Fatalf("version did not advance: %d -> %d", ver, v)
+			}
+			if !strings.Contains(out, "tick") {
+				t.Fatalf("changed fetch with output %q", out)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no output change observed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.client.Cancel(id)
+}
+
 func TestSubmitOwnerMustMatchIdentity(t *testing.T) {
 	f := newFixture(t)
 	d := f.desc("hello.gsh") // owner = alice

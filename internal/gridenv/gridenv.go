@@ -113,14 +113,22 @@ func Start(opts Options) (*Env, error) {
 	if env.GramURL, err = serveHTTP(gram.NewServer(grid, trust, clock)); err != nil {
 		return nil, err
 	}
-	// One GridFTP server per site.
+	// One GridFTP server per site. Third-party transfers (one server
+	// pulling from another) must cross the same shaped links as any other
+	// grid traffic, so the servers' outbound fetch client dials through
+	// the profile too.
+	var fetchClient *http.Client
+	if opts.Profile != nil {
+		dialer := &netsim.Dialer{Profile: opts.Profile}
+		fetchClient = &http.Client{Transport: &http.Transport{DialContext: dialer.DialContext}}
+	}
 	for _, name := range grid.SiteNames() {
 		site, err := grid.Site(name)
 		if err != nil {
 			env.Close()
 			return nil, err
 		}
-		url, err := serveHTTP(gridftp.NewServer(site.Store(), trust, clock))
+		url, err := serveHTTP(gridftp.NewServer(site.Store(), trust, clock, fetchClient))
 		if err != nil {
 			return nil, err
 		}

@@ -28,8 +28,8 @@ func twoSites(t *testing.T) (srcClient, dstClient *Client, srcStore, dstStore *g
 
 	srcStore = gridsim.NewStore()
 	dstStore = gridsim.NewStore()
-	srcSrv := httptest.NewServer(NewServer(srcStore, trust, clk))
-	dstSrv := httptest.NewServer(NewServer(dstStore, trust, clk))
+	srcSrv := httptest.NewServer(NewServer(srcStore, trust, clk, nil))
+	dstSrv := httptest.NewServer(NewServer(dstStore, trust, clk, nil))
 	t.Cleanup(srcSrv.Close)
 	t.Cleanup(dstSrv.Close)
 	return &Client{BaseURL: srcSrv.URL, Cred: alice},
@@ -112,6 +112,46 @@ func TestThirdPartyTransferCapabilityIsScoped(t *testing.T) {
 	}
 	if _, err := dst.Get("secret.gsh"); !errors.Is(err, ErrNoFile) {
 		t.Fatal("secret file leaked to destination")
+	}
+}
+
+// countingTransport counts round-trips before delegating to the default
+// transport.
+type countingTransport struct{ calls int }
+
+func (ct *countingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	ct.calls++
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func TestFetchUsesInjectedHTTPClient(t *testing.T) {
+	// The destination server's source-side pull must go through the
+	// injected client (the rig routes it through the shaped WAN), not
+	// http.DefaultClient.
+	now := time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
+	ca, err := xsec.NewCA("FTPCA", now, 10*365*24*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, _ := ca.IssueUser("alice", now, 365*24*time.Hour)
+	trust := xsec.NewTrustStore(ca.Cert)
+	clk := vtime.NewManual(now.Add(time.Hour))
+	ct := &countingTransport{}
+	srcStore, dstStore := gridsim.NewStore(), gridsim.NewStore()
+	srcSrv := httptest.NewServer(NewServer(srcStore, trust, clk, nil))
+	dstSrv := httptest.NewServer(NewServer(dstStore, trust, clk, &http.Client{Transport: ct}))
+	t.Cleanup(srcSrv.Close)
+	t.Cleanup(dstSrv.Close)
+	src := &Client{BaseURL: srcSrv.URL, Cred: alice}
+	dst := &Client{BaseURL: dstSrv.URL, Cred: alice}
+	if _, err := src.Put("data.gsh", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.FetchFrom(src.BaseURL, "data.gsh"); err != nil {
+		t.Fatal(err)
+	}
+	if ct.calls != 1 {
+		t.Fatalf("injected client saw %d calls, want 1", ct.calls)
 	}
 }
 

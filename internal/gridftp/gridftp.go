@@ -52,14 +52,27 @@ type Server struct {
 	store *gridsim.Store
 	trust *xsec.TrustStore
 	clock vtime.Clock
+	// http carries outbound third-party transfers (fetch); nil means
+	// http.DefaultClient.
+	http *http.Client
 }
 
-// NewServer builds a staging server for store.
-func NewServer(store *gridsim.Store, trust *xsec.TrustStore, clock vtime.Clock) *Server {
+// NewServer builds a staging server for store. httpClient carries the
+// server's own outbound traffic — the source-side pulls of third-party
+// transfers — so rigs can route it through a shaped transport; nil means
+// http.DefaultClient.
+func NewServer(store *gridsim.Store, trust *xsec.TrustStore, clock vtime.Clock, httpClient *http.Client) *Server {
 	if clock == nil {
 		clock = vtime.Real{}
 	}
-	return &Server{store: store, trust: trust, clock: clock}
+	return &Server{store: store, trust: trust, clock: clock, http: httpClient}
+}
+
+func (s *Server) httpClient() *http.Client {
+	if s.http == nil {
+		return http.DefaultClient
+	}
+	return s.http
 }
 
 // signPayload is the byte string both sides sign for a request: it binds
@@ -214,7 +227,7 @@ func (s *Server) fetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	getReq.Header.Set(TokenHeader, req.SourceToken)
-	resp, err := http.DefaultClient.Do(getReq)
+	resp, err := s.httpClient().Do(getReq)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "gridftp: fetch from source: "+err.Error())
 		return

@@ -33,7 +33,7 @@ func newFixture(t testing.TB) *fixture {
 	alice, _ := ca.IssueUser("alice", now, 365*24*time.Hour)
 	bob, _ := ca.IssueUser("bob", now, 365*24*time.Hour)
 	store := gridsim.NewStore()
-	srv := NewServer(store, xsec.NewTrustStore(ca.Cert), vtime.NewManual(now.Add(time.Hour)))
+	srv := NewServer(store, xsec.NewTrustStore(ca.Cert), vtime.NewManual(now.Add(time.Hour)), nil)
 	hs := httptest.NewServer(srv)
 	t.Cleanup(hs.Close)
 	return &fixture{
@@ -216,7 +216,7 @@ func TestQuotaSurfacesAsError(t *testing.T) {
 	}
 	alice, _ := ca.IssueUser("alice", now, 365*24*time.Hour)
 	store := gridsim.NewStoreWithLimits(1000, 800)
-	srv := NewServer(store, xsec.NewTrustStore(ca.Cert), vtime.NewManual(now.Add(time.Hour)))
+	srv := NewServer(store, xsec.NewTrustStore(ca.Cert), vtime.NewManual(now.Add(time.Hour)), nil)
 	hs := httptest.NewServer(srv)
 	defer hs.Close()
 	c := &Client{BaseURL: hs.URL, Cred: alice}

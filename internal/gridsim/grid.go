@@ -140,6 +140,19 @@ func (g *Grid) Job(id string) (*Job, error) {
 	return s.Job(id)
 }
 
+// Jobs resolves many job IDs in one pass. The result slices are
+// parallel to ids: jobs[i] is non-nil exactly when errs[i] is nil. A
+// bad ID never fails the batch — callers (the gatekeeper's status-batch
+// endpoint) report per-entry errors instead.
+func (g *Grid) Jobs(ids []string) (jobs []*Job, errs []error) {
+	jobs = make([]*Job, len(ids))
+	errs = make([]error, len(ids))
+	for i, id := range ids {
+		jobs[i], errs[i] = g.Job(id)
+	}
+	return jobs, errs
+}
+
 // SiteUsage pairs a site name with one owner's usage there.
 type SiteUsage struct {
 	Site  string     `json:"site"`

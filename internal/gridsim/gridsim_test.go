@@ -344,6 +344,55 @@ func TestGridJobLookup(t *testing.T) {
 	}
 }
 
+func TestGridBatchJobLookup(t *testing.T) {
+	clk := vtime.NewScaled(20000)
+	g, _ := New(clk, SiteConfig{Name: "a", Nodes: 1, CoresPerNode: 4})
+	s, _ := g.Site("a")
+	s.Store().Put(owner, "e.gsh", []byte("echo hi\n"))
+	j1, err := g.Submit(jsdl.Description{Owner: owner, Executable: "e.gsh", Site: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := g.Submit(jsdl.Description{Owner: owner, Executable: "e.gsh", Site: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, errs := g.Jobs([]string{j1.ID, "malformed", j2.ID, "nosite:job-1"})
+	if len(jobs) != 4 || len(errs) != 4 {
+		t.Fatalf("lengths %d/%d", len(jobs), len(errs))
+	}
+	if jobs[0] != j1 || errs[0] != nil || jobs[2] != j2 || errs[2] != nil {
+		t.Fatalf("good entries mangled: %v %v", errs[0], errs[2])
+	}
+	if jobs[1] != nil || !errors.Is(errs[1], ErrNoSuchJob) {
+		t.Fatalf("malformed id: job=%v err=%v", jobs[1], errs[1])
+	}
+	if jobs[3] != nil || !errors.Is(errs[3], ErrNoSuchJob) {
+		t.Fatalf("unknown site: job=%v err=%v", jobs[3], errs[3])
+	}
+}
+
+func TestStdoutVersionTracksAppends(t *testing.T) {
+	s := testSite(t, 2)
+	stage(t, s, "emit.gsh", "emit 2s 3 tick\n")
+	j := submit(t, s, "emit.gsh", nil)
+	if v := j.StdoutVersion(); v != 0 {
+		t.Fatalf("fresh job version %d", v)
+	}
+	waitJob(t, j)
+	out, ver := j.StdoutVersioned()
+	if out != "tick\ntick\ntick\n" {
+		t.Fatalf("stdout %q", out)
+	}
+	if ver != 3 {
+		t.Fatalf("version %d after 3 appends", ver)
+	}
+	// Unchanged output keeps an unchanged version.
+	if again := j.StdoutVersion(); again != ver {
+		t.Fatalf("version moved without output: %d -> %d", ver, again)
+	}
+}
+
 func TestGridConstructionErrors(t *testing.T) {
 	if _, err := New(vtime.Real{}); !errors.Is(err, ErrNoSites) {
 		t.Fatalf("got %v", err)

@@ -60,6 +60,7 @@ type Job struct {
 	state     State
 	exitMsg   string
 	stdout    bytes.Buffer
+	stdoutVer uint64
 	outputs   map[string][]byte
 	outBytes  int
 	outQuota  int
@@ -113,6 +114,24 @@ func (j *Job) Stdout() string {
 	return j.stdout.String()
 }
 
+// StdoutVersion reports the job's output version: a counter bumped on
+// every stdout append. Pollers remember the version they last fetched
+// and skip re-fetching an unchanged snapshot (the conditional-output
+// extension the paper's tentative poller lacked).
+func (j *Job) StdoutVersion() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stdoutVer
+}
+
+// StdoutVersioned returns the stdout snapshot together with its version,
+// read atomically so a caller can cache the pair.
+func (j *Job) StdoutVersioned() (string, uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stdout.String(), j.stdoutVer
+}
+
 // OutputFile returns a named output artifact (nil if absent).
 func (j *Job) OutputFile(name string) []byte {
 	j.mu.Lock()
@@ -152,6 +171,9 @@ func (j *Job) Times() (submitted, started, ended time.Time) {
 func (j *Job) writeStdout(p []byte) (int, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if len(p) > 0 {
+		j.stdoutVer++
+	}
 	return j.stdout.Write(p)
 }
 

@@ -9,3 +9,8 @@ cd "$(dirname "$0")"
 go vet ./...
 go build ./...
 go test -race -short ./...
+# The invocation collectors (per-invocation pollers and the sharded poll
+# hub) and the WAL are the concurrency hot spots: run their packages
+# fresh (-count=1 defeats the test cache) so cached "ok" lines can never
+# mask a newly introduced race.
+go test -race -count=1 ./internal/core ./internal/blobdb
