@@ -247,6 +247,37 @@ func BenchmarkPollHubSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkSubmitStock runs the submission workload (a simultaneous
+// cold burst of one service) under the paper's front-end: one stats
+// RPC, one WAN staging upload and one submit RPC per invocation.
+func BenchmarkSubmitStock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationSubmit(benchOpts(), 16, "stock")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "submit", "stock", "uploads", "uploads")
+		report(b, res, "submit", "stock", "submit_rpcs", "submit_rpcs")
+		report(b, res, "submit", "stock", "stats_rpcs", "stats_rpcs")
+	}
+}
+
+// BenchmarkSubmitCoalesced runs the same burst under the batched
+// front-end: coalesced staging, the submit hub's windowed batch RPC,
+// and the stats singleflight.
+func BenchmarkSubmitCoalesced(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationSubmit(benchOpts(), 16, "batched")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "submit", "batched", "uploads", "uploads")
+		report(b, res, "submit", "batched", "uploads_coalesced", "coalesced")
+		report(b, res, "submit", "batched", "submit_rpcs", "submit_rpcs")
+		report(b, res, "submit", "batched", "stats_rpcs", "stats_rpcs")
+	}
+}
+
 // BenchmarkAblationWALGroupCommit compares the stock one-write-per-put
 // WAL path with batched group commit (real time, on-disk WAL).
 func BenchmarkAblationWALGroupCommit(b *testing.B) {

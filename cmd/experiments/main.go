@@ -8,6 +8,7 @@
 //	experiments -scalability -scale 500
 //	experiments -hotpath          # invocation hot-path ablations -> results/hotpath.json
 //	experiments -pollhub          # output-collection ablation -> results/pollhub.json
+//	experiments -submit           # batched-submission ablation -> results/submit.json
 package main
 
 import (
@@ -28,6 +29,7 @@ func main() {
 		ablations   = flag.Bool("ablations", false, "run the design-choice ablations")
 		hotpath     = flag.Bool("hotpath", false, "run the invocation hot-path ablations")
 		pollhub     = flag.Bool("pollhub", false, "run the poll-hub output-collection ablation")
+		submit      = flag.Bool("submit", false, "run the batched-submission front-end ablation")
 		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
 		all         = flag.Bool("all", false, "run every experiment")
 		scale       = flag.Float64("scale", 200, "virtual-time dilation factor")
@@ -35,13 +37,13 @@ func main() {
 		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
 	)
 	flag.Parse()
-	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *baseline, *all, *scale, *outDir, *jobs); err != nil {
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *baseline, *all, *scale, *outDir, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, baseline, all bool, scale float64, outDir string, jobs int) error {
+func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, baseline, all bool, scale float64, outDir string, jobs int) error {
 	opts := experiments.Options{Scale: scale}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -175,6 +177,23 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, baseline,
 		}
 		fmt.Printf("wrote %s\n\n", path)
 	}
+	if all || submit {
+		any = true
+		res, err := experiments.AblationSubmit(opts, 64)
+		if err != nil {
+			return fmt.Errorf("submit: %w", err)
+		}
+		fmt.Print(res.Render())
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "submit.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 	if all || baseline {
 		any = true
 		res, err := experiments.BaselineJSE(opts, 256)
@@ -185,7 +204,7 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, baseline,
 		fmt.Println()
 	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -baseline or -all")
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -baseline or -all")
 	}
 	return nil
 }

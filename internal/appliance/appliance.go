@@ -64,6 +64,12 @@ type Config struct {
 	// (see core.Config); off keeps one poller goroutine per invocation.
 	PollHub       bool
 	PollHubShards int
+	// CoalesceStaging / SubmitHub / SubmitHubWindow select the batched
+	// submission front-end (see core.Config); off keeps one upload and
+	// one submit RPC per invocation.
+	CoalesceStaging bool
+	SubmitHub       bool
+	SubmitHubWindow time.Duration
 	// BlobCacheBytes / GroupCommit tune the blob database (see
 	// blobdb.Options); zero values keep the stock behaviour.
 	BlobCacheBytes int64
@@ -170,6 +176,9 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		StatsTTL:          cfg.StatsTTL,
 		PollHub:           cfg.PollHub,
 		PollHubShards:     cfg.PollHubShards,
+		CoalesceStaging:   cfg.CoalesceStaging,
+		SubmitHub:         cfg.SubmitHub,
+		SubmitHubWindow:   cfg.SubmitHubWindow,
 	})
 	if err != nil {
 		db.Close()

@@ -226,7 +226,7 @@ func (o *OnServe) submitPipeline(sessionID, serviceName string, info *Executable
 			WallTime:   o.cfg.InvocationTimeout,
 			StageIn:    info.StageIn,
 		}
-		jobID, err = o.cfg.Agent.Submit(sessionID, &desc)
+		jobID, err = o.submitJob(sessionID, &desc)
 		if err == nil {
 			return candidate, jobID, nil
 		}
@@ -326,35 +326,106 @@ func (o *OnServe) pickSites(sessionID string) ([]string, error) {
 }
 
 // gridStats fetches (or serves from the TTL cache) the gatekeeper's
-// scheduler statistics.
+// scheduler statistics. With the TTL on, concurrent callers that all
+// observe an expired snapshot collapse onto one in-flight fetch instead
+// of stampeding the gatekeeper with identical requests; a leader
+// failure wakes the waiters, and the next one through retries.
 func (o *OnServe) gridStats(sessionID string) ([]gridsim.SiteStats, error) {
 	ttl := o.cfg.StatsTTL
-	if ttl > 0 {
+	if ttl <= 0 {
+		// Paper-faithful: one scheduler round-trip per invocation.
+		o.submit.statsRPCs.Add(1)
+		return o.cfg.Agent.GridStats(sessionID)
+	}
+	for {
 		o.mu.Lock()
-		stats, at := o.stats, o.statsAt
-		o.mu.Unlock()
-		if stats != nil && o.clock.Now().Sub(at) < ttl {
+		if o.stats != nil && o.clock.Now().Sub(o.statsAt) < ttl {
+			stats := o.stats
+			o.mu.Unlock()
 			return stats, nil
 		}
-	}
-	stats, err := o.cfg.Agent.GridStats(sessionID)
-	if err != nil {
-		return nil, err
-	}
-	if ttl > 0 {
-		o.mu.Lock()
-		o.stats, o.statsAt = stats, o.clock.Now()
+		if f := o.statsFlight; f != nil {
+			o.mu.Unlock()
+			<-f.done
+			if f.err == nil {
+				o.submit.statsCollapsed.Add(1)
+				return f.stats, nil
+			}
+			continue // leader failed: re-check the cache or take over
+		}
+		f := &statsFlight{done: make(chan struct{})}
+		o.statsFlight = f
 		o.mu.Unlock()
+		o.submit.statsRPCs.Add(1)
+		f.stats, f.err = o.cfg.Agent.GridStats(sessionID)
+		o.mu.Lock()
+		o.statsFlight = nil
+		if f.err == nil {
+			o.stats, o.statsAt = f.stats, o.clock.Now()
+		}
+		o.mu.Unlock()
+		close(f.done)
+		return f.stats, f.err
 	}
-	return stats, nil
+}
+
+// statsFlight is one in-flight scheduler-statistics fetch concurrent
+// pickSites callers wait on. err and stats are written by the leader
+// before done closes and only read by waiters after.
+type statsFlight struct {
+	done  chan struct{}
+	stats []gridsim.SiteStats
+	err   error
 }
 
 // stageExecutable makes sure the service's executable is present at the
-// target site: through the staging cache and site-to-site replication
-// when enabled, otherwise by uploading across the WAN — the paper's
-// behaviour, where files "will even be reloaded when executed a 2nd
-// time".
+// target site. With Config.CoalesceStaging on, concurrent cold
+// invocations of one service single-flight the transfer per
+// service|site: the first arrival performs it, the rest block on its
+// result, so a cold burst costs exactly one WAN transfer per site. A
+// leader failure wakes the waiters and exactly one of them takes over
+// (each failed flight releases its leader with the error), so the
+// stampede can never come back through the retry path.
 func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site string, blob []byte) error {
+	if !o.cfg.CoalesceStaging {
+		return o.stageExecutableOnce(sessionID, serviceName, stagedName, site, blob)
+	}
+	key := serviceName + "|" + site
+	for {
+		o.mu.Lock()
+		if f := o.stagingFlights[key]; f != nil {
+			o.mu.Unlock()
+			<-f.done
+			if f.err == nil {
+				o.submit.uploadsCoalesced.Add(1)
+				return nil
+			}
+			continue // leader failed: elect a new one
+		}
+		f := &stagingFlight{done: make(chan struct{})}
+		o.stagingFlights[key] = f
+		o.mu.Unlock()
+		f.err = o.stageExecutableOnce(sessionID, serviceName, stagedName, site, blob)
+		o.mu.Lock()
+		delete(o.stagingFlights, key)
+		o.mu.Unlock()
+		close(f.done)
+		return f.err
+	}
+}
+
+// stagingFlight is one in-flight staging transfer waiters block on. err
+// is written by the leader before done closes and only read after.
+type stagingFlight struct {
+	done chan struct{}
+	err  error
+}
+
+// stageExecutableOnce performs one staging transfer: through the
+// staging cache and site-to-site replication when enabled, otherwise by
+// uploading across the WAN — the paper's behaviour, where files "will
+// even be reloaded when executed a 2nd time".
+func (o *OnServe) stageExecutableOnce(sessionID, serviceName, stagedName, site string, blob []byte) error {
 	cacheKey := serviceName + "|" + site
 	if o.cfg.StagingCache {
 		o.mu.Lock()
@@ -371,15 +442,24 @@ func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site strin
 			return nil
 		}
 		if replicateFrom != "" {
-			if sum, err := o.cfg.Agent.Replicate(sessionID, replicateFrom, site, stagedName); err == nil {
+			sum, err := o.cfg.Agent.Replicate(sessionID, replicateFrom, site, stagedName)
+			if err == nil {
 				o.mu.Lock()
 				o.staged[cacheKey] = sum
 				o.mu.Unlock()
 				return nil
 			}
-			// On replication failure, fall through to a fresh upload.
+			// A session fault would doom the fresh upload too: surface it
+			// so Invoke's invalidate-and-retry path fires instead of
+			// burning a second WAN round-trip on a dead session.
+			if isSessionFault(err) {
+				return fmt.Errorf("onserve: stage executable: %w", err)
+			}
+			// On any other replication failure, fall through to a fresh
+			// upload.
 		}
 	}
+	o.submit.uploads.Add(1)
 	checksum, err := o.cfg.Agent.Upload(sessionID, site, stagedName, blob)
 	if err != nil {
 		return fmt.Errorf("onserve: stage executable: %w", err)
@@ -576,7 +656,9 @@ func (o *OnServe) InvocationOutputFile(ticket, name string) ([]byte, error) {
 	return o.cfg.Agent.OutputFile(inv.sessionID, inv.JobID, name)
 }
 
-// Invocations lists tickets issued so far.
+// Invocations lists tickets issued so far, ordered by ticket (the
+// sequence-number prefix makes that issue order); map iteration order
+// must not leak into listings.
 func (o *OnServe) Invocations() []*Invocation {
 	o.mu.Lock()
 	defer o.mu.Unlock()
@@ -584,6 +666,7 @@ func (o *OnServe) Invocations() []*Invocation {
 	for _, inv := range o.invocations {
 		out = append(out, inv)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ticket < out[j].Ticket })
 	return out
 }
 

@@ -48,6 +48,9 @@ const (
 	// DefaultPollHubShards is how many shard workers the poll hub runs
 	// when Config.PollHubShards is unset.
 	DefaultPollHubShards = 4
+	// DefaultSubmitHubWindow is the submit hub's coalescing window when
+	// Config.SubmitHubWindow is unset.
+	DefaultSubmitHubWindow = 5 * time.Millisecond
 )
 
 // Errors.
@@ -138,6 +141,19 @@ type Config struct {
 	// PollHubShards is the hub's worker count; 0 means
 	// DefaultPollHubShards. Ignored unless PollHub is set.
 	PollHubShards int
+	// CoalesceStaging single-flights concurrent stagings of one
+	// executable to one site, so a cold burst of N invocations costs one
+	// WAN transfer per site instead of N. Off by default: the paper
+	// re-stages per invocation.
+	CoalesceStaging bool
+	// SubmitHub coalesces job submissions arriving within
+	// SubmitHubWindow into one gatekeeper submit-batch round-trip per
+	// session, with per-entry error isolation. Off by default: the paper
+	// submits one RPC per invocation.
+	SubmitHub bool
+	// SubmitHubWindow is the hub's coalescing window; 0 means
+	// DefaultSubmitHubWindow. Ignored unless SubmitHub is set.
+	SubmitHubWindow time.Duration
 }
 
 // OnServe is the middleware instance.
@@ -149,6 +165,12 @@ type OnServe struct {
 	hub *pollHub
 	// collector tallies the output-collection work all three paths do.
 	collector collectorCounters
+	// shub is the submission coalescer (Config.SubmitHub); nil submits
+	// one RPC per invocation.
+	shub *submitHub
+	// submit tallies the submission-path work (uploads, submit RPCs,
+	// stats fetches) across stock and batched paths.
+	submit submitCounters
 
 	mu          sync.Mutex
 	users       map[string]UserAuth    // portal user -> myproxy logon
@@ -158,9 +180,14 @@ type OnServe struct {
 	// sessions caches one authenticated agent session per owner
 	// (Config.SessionCache).
 	sessions map[string]*ownerSession
-	// stats / statsAt cache the grid-stats snapshot (Config.StatsTTL).
-	stats   []gridsim.SiteStats
-	statsAt time.Time
+	// stats / statsAt cache the grid-stats snapshot (Config.StatsTTL);
+	// statsFlight is the in-flight refresh concurrent callers share.
+	stats       []gridsim.SiteStats
+	statsAt     time.Time
+	statsFlight *statsFlight
+	// stagingFlights holds in-flight staging transfers keyed
+	// service|site (Config.CoalesceStaging).
+	stagingFlights map[string]*stagingFlight
 	// termOrder tracks terminal tickets oldest-first for pruning;
 	// termTallies retains per-state counts of pruned invocations so
 	// Monitoring stays correct.
@@ -194,17 +221,24 @@ func New(cfg Config) (*OnServe, error) {
 	if cfg.PollHubShards <= 0 {
 		cfg.PollHubShards = DefaultPollHubShards
 	}
+	if cfg.SubmitHubWindow <= 0 {
+		cfg.SubmitHubWindow = DefaultSubmitHubWindow
+	}
 	o := &OnServe{
-		cfg:         cfg,
-		clock:       cfg.Clock,
-		users:       make(map[string]UserAuth),
-		invocations: make(map[string]*Invocation),
-		staged:      make(map[string]string),
-		sessions:    make(map[string]*ownerSession),
-		termTallies: make(map[InvState]int),
+		cfg:            cfg,
+		clock:          cfg.Clock,
+		users:          make(map[string]UserAuth),
+		invocations:    make(map[string]*Invocation),
+		staged:         make(map[string]string),
+		sessions:       make(map[string]*ownerSession),
+		termTallies:    make(map[InvState]int),
+		stagingFlights: make(map[string]*stagingFlight),
 	}
 	if cfg.PollHub {
 		o.hub = newPollHub(o, cfg.PollHubShards)
+	}
+	if cfg.SubmitHub {
+		o.shub = newSubmitHub(o)
 	}
 	return o, nil
 }

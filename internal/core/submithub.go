@@ -1,0 +1,151 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gram"
+	"repro/internal/jsdl"
+)
+
+// SubmitStats counts the work the submission front-end performs on the
+// way *into* the grid — the twin of CollectorStats for the output side.
+// The submit ablation reads it to compare WAN uploads, gatekeeper
+// submit round-trips and scheduler-statistics fetches across variants.
+type SubmitStats struct {
+	// Uploads is the number of executable stagings that crossed the WAN
+	// (Agent.Upload calls).
+	Uploads uint64 `json:"uploads"`
+	// UploadsCoalesced counts stagings served by another invocation's
+	// in-flight upload (Config.CoalesceStaging) instead of their own.
+	UploadsCoalesced uint64 `json:"uploads_coalesced"`
+	// SubmitRPCs is the number of gatekeeper submit round-trips: one per
+	// Submit call, one per submit-batch chunk.
+	SubmitRPCs uint64 `json:"submit_rpcs"`
+	// SubmitsBatched counts job descriptions that travelled inside a
+	// submit-batch RPC (Config.SubmitHub).
+	SubmitsBatched uint64 `json:"submits_batched"`
+	// StatsRPCs is the number of scheduler-statistics fetches that went
+	// to the gatekeeper.
+	StatsRPCs uint64 `json:"stats_rpcs"`
+	// StatsCollapsed counts pickSites callers that shared an in-flight
+	// statistics fetch instead of issuing their own (Config.StatsTTL).
+	StatsCollapsed uint64 `json:"stats_collapsed"`
+}
+
+// submitCounters is the mutable, atomically updated form.
+type submitCounters struct {
+	uploads          atomic.Uint64
+	uploadsCoalesced atomic.Uint64
+	submitRPCs       atomic.Uint64
+	submitsBatched   atomic.Uint64
+	statsRPCs        atomic.Uint64
+	statsCollapsed   atomic.Uint64
+}
+
+// SubmitStats snapshots the submission-path counters.
+func (o *OnServe) SubmitStats() SubmitStats {
+	return SubmitStats{
+		Uploads:          o.submit.uploads.Load(),
+		UploadsCoalesced: o.submit.uploadsCoalesced.Load(),
+		SubmitRPCs:       o.submit.submitRPCs.Load(),
+		SubmitsBatched:   o.submit.submitsBatched.Load(),
+		StatsRPCs:        o.submit.statsRPCs.Load(),
+		StatsCollapsed:   o.submit.statsCollapsed.Load(),
+	}
+}
+
+// submitJob sends one job description to the gatekeeper, through the
+// submit hub when Config.SubmitHub is on and directly otherwise. Either
+// way the caller sees the per-job result, so submitPipeline's
+// per-candidate-site staging-retry semantics are unchanged.
+func (o *OnServe) submitJob(sessionID string, desc *jsdl.Description) (string, error) {
+	if o.shub != nil {
+		return o.shub.submit(sessionID, desc)
+	}
+	o.submit.submitRPCs.Add(1)
+	return o.cfg.Agent.Submit(sessionID, desc)
+}
+
+// submitHub coalesces GRAM submissions (Config.SubmitHub): submissions
+// arriving within one SubmitHubWindow are collected and sent as a
+// single submit-batch round-trip per gatekeeper session (tokens are
+// signed per credential, so a batch cannot span sessions). Per-job
+// failures come back in their own batch entry and are delivered to only
+// that submitter, so one bad description never fails its batch-mates.
+type submitHub struct {
+	o *OnServe
+
+	mu sync.Mutex
+	// pending queues submissions per session until the window closes;
+	// the first arrival of a window starts its flusher.
+	pending map[string][]*submitTicket
+}
+
+// submitTicket is one queued submission and its reply channel.
+type submitTicket struct {
+	desc *jsdl.Description
+	done chan submitOutcome
+}
+
+// submitOutcome is one submission's result.
+type submitOutcome struct {
+	jobID string
+	err   error
+}
+
+func newSubmitHub(o *OnServe) *submitHub {
+	return &submitHub{o: o, pending: make(map[string][]*submitTicket)}
+}
+
+// submit enqueues one description and blocks until its batch round-trip
+// delivers the assigned job ID or this entry's error.
+func (h *submitHub) submit(sessionID string, desc *jsdl.Description) (string, error) {
+	t := &submitTicket{desc: desc, done: make(chan submitOutcome, 1)}
+	h.mu.Lock()
+	h.pending[sessionID] = append(h.pending[sessionID], t)
+	if len(h.pending[sessionID]) == 1 {
+		go h.flushAfterWindow(sessionID)
+	}
+	h.mu.Unlock()
+	out := <-t.done
+	return out.jobID, out.err
+}
+
+// flushAfterWindow waits out the coalescing window, then submits
+// everything the session queued in one batch RPC (per gram.MaxBatch
+// chunk). Arrivals during the RPC start a fresh window.
+func (h *submitHub) flushAfterWindow(sessionID string) {
+	o := h.o
+	o.clock.Sleep(o.cfg.SubmitHubWindow)
+	h.mu.Lock()
+	batch := h.pending[sessionID]
+	delete(h.pending, sessionID)
+	h.mu.Unlock()
+	descs := make([]*jsdl.Description, len(batch))
+	for i, t := range batch {
+		descs[i] = t.desc
+	}
+	o.submit.submitRPCs.Add(uint64((len(descs) + gram.MaxBatch - 1) / gram.MaxBatch))
+	o.submit.submitsBatched.Add(uint64(len(descs)))
+	entries, err := o.cfg.Agent.SubmitBatch(sessionID, descs)
+	if err == nil && len(entries) != len(batch) {
+		err = fmt.Errorf("onserve: submit batch answered %d of %d entries", len(entries), len(batch))
+	}
+	for i, t := range batch {
+		switch {
+		case err != nil:
+			// Whole-batch failure (transport, or a session fault from
+			// resolving the credential): every submitter sees it, and
+			// Invoke's session-fault retry still fires because the error
+			// value is delivered unwrapped.
+			t.done <- submitOutcome{err: err}
+		case entries[i].Error != "":
+			t.done <- submitOutcome{err: errors.New(entries[i].Error)}
+		default:
+			t.done <- submitOutcome{jobID: entries[i].JobID}
+		}
+	}
+}

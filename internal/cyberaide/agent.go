@@ -238,6 +238,24 @@ func (a *Agent) Submit(sessionID string, desc *jsdl.Description) (string, error)
 	return jobID, nil
 }
 
+// SubmitBatch sends many job descriptions in one gatekeeper round-trip
+// per gram.MaxBatch chunk (the submit hub's flush primitive). Each
+// description's owner is forced to the session identity, like Submit;
+// per-description failures come back in each entry's Error field.
+func (a *Agent) SubmitBatch(sessionID string, descs []*jsdl.Description) ([]gram.SubmitBatchEntry, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	owned := make([]*jsdl.Description, len(descs))
+	for i, desc := range descs {
+		d := *desc
+		d.Owner = sess.Identity
+		owned[i] = &d
+	}
+	return sess.gram.SubmitBatch(owned)
+}
+
 // Wait long-polls the gatekeeper until the job is terminal or timeout
 // elapses (the extension that obsoletes tentative output polling).
 func (a *Agent) Wait(sessionID, jobID string, timeout time.Duration) (*gram.StatusReply, error) {

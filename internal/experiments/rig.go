@@ -54,6 +54,12 @@ type Options struct {
 	// (see core.Config); off keeps the paper's per-invocation poller.
 	PollHub       bool
 	PollHubShards int
+	// CoalesceStaging / SubmitHub / SubmitHubWindow select the batched
+	// submission front-end (see core.Config); off keeps one upload and
+	// one submit RPC per invocation.
+	CoalesceStaging bool
+	SubmitHub       bool
+	SubmitHubWindow time.Duration
 	// Cost overrides the appliance CPU cost model (nil = defaults).
 	Cost *metrics.Cost
 }
@@ -176,6 +182,9 @@ func newRig(opts Options) (*rig, error) {
 		GroupCommit:       opts.GroupCommit,
 		PollHub:           opts.PollHub,
 		PollHubShards:     opts.PollHubShards,
+		CoalesceStaging:   opts.CoalesceStaging,
+		SubmitHub:         opts.SubmitHub,
+		SubmitHubWindow:   opts.SubmitHubWindow,
 	})
 	if err != nil {
 		env.Close()

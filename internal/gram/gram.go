@@ -83,6 +83,26 @@ type SubmitReply struct {
 	JobID string `json:"job_id"`
 }
 
+// submitBatchRequest carries many job descriptions (each one jsdl XML
+// document) in one submit round-trip.
+type submitBatchRequest struct {
+	Jobs []string `json:"jobs"`
+}
+
+// SubmitBatchEntry is one description's answer inside a submit-batch
+// reply. Error is set (and JobID empty) when this entry was rejected —
+// a bad description never fails its batch-mates.
+type SubmitBatchEntry struct {
+	JobID string `json:"job_id,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// submitBatchReply answers a submit-batch request; Entries is parallel
+// to the submitted descriptions.
+type submitBatchReply struct {
+	Entries []SubmitBatchEntry `json:"entries"`
+}
+
 // errorReply is the uniform error body.
 type errorReply struct {
 	Error string `json:"error"`
@@ -128,6 +148,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.submit(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/gram/status":
 		s.withJob(w, r, func(j *gridsim.Job) { writeJSON(w, http.StatusOK, statusOf(j)) })
+	case r.Method == http.MethodPost && r.URL.Path == "/gram/submit-batch":
+		s.submitBatch(w, r)
 	case r.Method == http.MethodPost && r.URL.Path == "/gram/status-batch":
 		s.statusBatch(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/gram/output":
@@ -194,6 +216,61 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, SubmitReply{JobID: job.ID})
+}
+
+// submitBatch submits many job descriptions in one round-trip (token
+// signed over the body, like submit). Failures are reported per entry:
+// a malformed, foreign or rejected description yields an entry with
+// Error set and never fails the batch.
+func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBody+1))
+	if err != nil || len(body) > MaxBody {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: "gram: bad body"})
+		return
+	}
+	id, err := s.authenticate(r, body)
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: err.Error()})
+		return
+	}
+	var req submitBatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorReply{Error: fmt.Sprintf("%v: %v", ErrBadInput, err)})
+		return
+	}
+	if len(req.Jobs) == 0 || len(req.Jobs) > MaxBatch {
+		writeJSON(w, http.StatusBadRequest, errorReply{
+			Error: fmt.Sprintf("%v: batch of %d jobs (1..%d)", ErrBadInput, len(req.Jobs), MaxBatch),
+		})
+		return
+	}
+	// Parse and authorize each entry first; only the valid ones reach the
+	// grid, with idx mapping their compacted position back.
+	entries := make([]SubmitBatchEntry, len(req.Jobs))
+	var descs []jsdl.Description
+	var idx []int
+	for i, doc := range req.Jobs {
+		desc, err := jsdl.Unmarshal([]byte(doc))
+		if err != nil {
+			entries[i].Error = fmt.Sprintf("%v: %v", ErrBadInput, err)
+			continue
+		}
+		if desc.Owner != id {
+			entries[i].Error = fmt.Sprintf("%v: description owner %q, authenticated %q", ErrDenied, desc.Owner, id)
+			continue
+		}
+		descs = append(descs, *desc)
+		idx = append(idx, i)
+	}
+	jobs, errs := s.grid.SubmitMany(descs)
+	for k, i := range idx {
+		if errs[k] != nil {
+			entries[i].Error = errs[k].Error()
+			continue
+		}
+		entries[i].JobID = jobs[k].ID
+	}
+	writeJSON(w, http.StatusOK, submitBatchReply{Entries: entries})
 }
 
 // statusBatch answers one status poll for many jobs at once (token
@@ -383,6 +460,56 @@ func (c *Client) Submit(desc *jsdl.Description) (string, error) {
 		return "", err
 	}
 	return reply.JobID, nil
+}
+
+// SubmitBatch submits many descriptions in ⌈n/MaxBatch⌉ round-trips
+// instead of one per job. Entries come back parallel to descs;
+// per-description failures (including local marshal failures) are
+// reported in each entry's Error field, so one bad description never
+// fails the rest.
+func (c *Client) SubmitBatch(descs []*jsdl.Description) ([]SubmitBatchEntry, error) {
+	entries := make([]SubmitBatchEntry, len(descs))
+	// Marshal everything first; failures stay local to their entry and
+	// idx maps each shippable document back to its description.
+	var docs []string
+	var idx []int
+	for i, desc := range descs {
+		body, err := jsdl.Marshal(desc)
+		if err != nil {
+			entries[i].Error = fmt.Sprintf("%v: %v", ErrBadInput, err)
+			continue
+		}
+		docs = append(docs, string(body))
+		idx = append(idx, i)
+	}
+	for start := 0; start < len(docs); start += MaxBatch {
+		end := min(start+MaxBatch, len(docs))
+		body, err := json.Marshal(submitBatchRequest{Jobs: docs[start:end]})
+		if err != nil {
+			return nil, err
+		}
+		tok, err := c.sign(body)
+		if err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequest(http.MethodPost, c.BaseURL+"/gram/submit-batch", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set(TokenHeader, tok)
+		req.Header.Set("Content-Type", "application/json")
+		var reply submitBatchReply
+		if err := c.do(req, &reply); err != nil {
+			return nil, err
+		}
+		if len(reply.Entries) != end-start {
+			return nil, fmt.Errorf("%w: batch answered %d of %d entries", ErrBadInput, len(reply.Entries), end-start)
+		}
+		for k, e := range reply.Entries {
+			entries[idx[start+k]] = e
+		}
+	}
+	return entries, nil
 }
 
 // Status polls the job state.

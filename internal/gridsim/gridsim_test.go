@@ -596,3 +596,43 @@ func TestCPUFactorSpeedsJobs(t *testing.T) {
 		t.Fatalf("fast site (%v) not faster than slow site (%v)", fdur, sdur)
 	}
 }
+
+func TestSubmitManyIsolatesPerEntryErrors(t *testing.T) {
+	clk := vtime.NewScaled(20000)
+	g, err := New(clk,
+		SiteConfig{Name: "siteA", Nodes: 1, CoresPerNode: 4},
+		SiteConfig{Name: "siteB", Nodes: 1, CoresPerNode: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteA, _ := g.Site("siteA")
+	if err := siteA.Store().Put(owner, "hello.gsh", []byte("echo hi\n")); err != nil {
+		t.Fatal(err)
+	}
+	descs := []jsdl.Description{
+		{Owner: owner, Executable: "hello.gsh"},
+		{Owner: owner, Executable: "ghost.gsh"},
+		{Owner: owner, Executable: "hello.gsh", Site: "siteA"},
+	}
+	jobs, errs := g.SubmitMany(descs)
+	if len(jobs) != len(descs) || len(errs) != len(descs) {
+		t.Fatalf("SubmitMany returned %d jobs / %d errs for %d descs", len(jobs), len(errs), len(descs))
+	}
+	if errs[0] != nil || jobs[0] == nil {
+		t.Fatalf("entry 0: jobs=%v err=%v", jobs[0], errs[0])
+	}
+	if !errors.Is(errs[1], ErrNotStaged) || jobs[1] != nil {
+		t.Fatalf("entry 1: want ErrNotStaged without a job, got jobs=%v err=%v", jobs[1], errs[1])
+	}
+	if errs[2] != nil || jobs[2] == nil {
+		t.Fatalf("entry 2: jobs=%v err=%v", jobs[2], errs[2])
+	}
+	waitJob(t, jobs[0])
+	waitJob(t, jobs[2])
+	for _, i := range []int{0, 2} {
+		if st := jobs[i].State(); st != Succeeded {
+			t.Fatalf("entry %d finished in %s, want %s", i, st, Succeeded)
+		}
+	}
+}

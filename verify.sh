@@ -6,11 +6,18 @@ set -eux
 
 cd "$(dirname "$0")"
 
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed:" "$unformatted" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
 go test -race -short ./...
 # The invocation collectors (per-invocation pollers and the sharded poll
-# hub) and the WAL are the concurrency hot spots: run their packages
+# hub), the submission front-end (coalesced staging, submit hub, batch
+# RPCs) and the WAL are the concurrency hot spots: run their packages
 # fresh (-count=1 defeats the test cache) so cached "ok" lines can never
 # mask a newly introduced race.
-go test -race -count=1 ./internal/core ./internal/blobdb
+go test -race -count=1 ./internal/core ./internal/blobdb ./internal/gram ./internal/gridsim
