@@ -278,6 +278,38 @@ func BenchmarkSubmitCoalesced(b *testing.B) {
 	}
 }
 
+// BenchmarkStageStock runs the staging data-plane ablation under the
+// paper's monolithic uncompressed PUT: the whole executable crosses the
+// WAN on every cold staging and again in full after any fault.
+func BenchmarkStageStock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationStage(benchOpts(), 256, "stock")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "stage-cold", "stock", "stage_s", "stage_virtual_s")
+		report(b, res, "stage-cold", "stock", "wan_wire_b", "wan_wire_b")
+		report(b, res, "stage-resume", "stock", "retry_wire_b", "retry_wire_b")
+	}
+}
+
+// BenchmarkStageChunked runs the same workload with chunked
+// content-addressed staging shipping the stored gzip stream: fewer cold
+// wire bytes by the payload's gzip ratio, and a faulted transfer resumes
+// from its committed chunks.
+func BenchmarkStageChunked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationStage(benchOpts(), 256, "chunked-gzip")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "stage-cold", "chunked-gzip", "stage_s", "stage_virtual_s")
+		report(b, res, "stage-cold", "chunked-gzip", "wan_wire_b", "wan_wire_b")
+		report(b, res, "stage-cold", "chunked-gzip", "chunks_shipped", "chunks_shipped")
+		report(b, res, "stage-resume", "chunked", "retry_wire_b", "retry_wire_b")
+	}
+}
+
 // BenchmarkAblationWALGroupCommit compares the stock one-write-per-put
 // WAL path with batched group commit (real time, on-disk WAL).
 func BenchmarkAblationWALGroupCommit(b *testing.B) {

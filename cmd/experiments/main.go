@@ -9,6 +9,7 @@
 //	experiments -hotpath          # invocation hot-path ablations -> results/hotpath.json
 //	experiments -pollhub          # output-collection ablation -> results/pollhub.json
 //	experiments -submit           # batched-submission ablation -> results/submit.json
+//	experiments -stage            # staging data-plane ablation -> results/stage.json
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 		hotpath     = flag.Bool("hotpath", false, "run the invocation hot-path ablations")
 		pollhub     = flag.Bool("pollhub", false, "run the poll-hub output-collection ablation")
 		submit      = flag.Bool("submit", false, "run the batched-submission front-end ablation")
+		stage       = flag.Bool("stage", false, "run the chunked-staging data-plane ablation")
 		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
 		all         = flag.Bool("all", false, "run every experiment")
 		scale       = flag.Float64("scale", 200, "virtual-time dilation factor")
@@ -37,13 +39,13 @@ func main() {
 		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
 	)
 	flag.Parse()
-	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *baseline, *all, *scale, *outDir, *jobs); err != nil {
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *baseline, *all, *scale, *outDir, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, baseline, all bool, scale float64, outDir string, jobs int) error {
+func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, baseline, all bool, scale float64, outDir string, jobs int) error {
 	opts := experiments.Options{Scale: scale}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -194,6 +196,23 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, b
 		}
 		fmt.Printf("wrote %s\n\n", path)
 	}
+	if all || stage {
+		any = true
+		res, err := experiments.AblationStage(opts, 0)
+		if err != nil {
+			return fmt.Errorf("stage: %w", err)
+		}
+		fmt.Print(res.Render())
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "stage.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 	if all || baseline {
 		any = true
 		res, err := experiments.BaselineJSE(opts, 256)
@@ -204,7 +223,7 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, b
 		fmt.Println()
 	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -baseline or -all")
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -baseline or -all")
 	}
 	return nil
 }

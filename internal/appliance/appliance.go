@@ -70,6 +70,12 @@ type Config struct {
 	CoalesceStaging bool
 	SubmitHub       bool
 	SubmitHubWindow time.Duration
+	// ChunkedStaging / ChunkBytes / WireCompression select the chunked,
+	// content-addressed staging data plane (see core.Config); off keeps
+	// the paper's monolithic uncompressed PUT per staging.
+	ChunkedStaging  bool
+	ChunkBytes      int
+	WireCompression bool
 	// BlobCacheBytes / GroupCommit tune the blob database (see
 	// blobdb.Options); zero values keep the stock behaviour.
 	BlobCacheBytes int64
@@ -179,6 +185,9 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		CoalesceStaging:   cfg.CoalesceStaging,
 		SubmitHub:         cfg.SubmitHub,
 		SubmitHubWindow:   cfg.SubmitHubWindow,
+		ChunkedStaging:    cfg.ChunkedStaging,
+		ChunkBytes:        cfg.ChunkBytes,
+		WireCompression:   cfg.WireCompression,
 	})
 	if err != nil {
 		db.Close()

@@ -443,6 +443,27 @@ func (t *Table) Get(key string) (*Record, error) {
 	}, nil
 }
 
+// GetCompressed returns a copy of the record's stored gzip bytes and the
+// decompressed size, without inflating. Only the disk read of the
+// compressed bytes is accounted — this is the cheap path the
+// wire-compression staging mode uses to ship the stored stream as-is.
+func (t *Table) GetCompressed(key string) (comp []byte, rawSize int, err error) {
+	t.db.mu.RLock()
+	if t.db.closed {
+		t.db.mu.RUnlock()
+		return nil, 0, ErrClosed
+	}
+	r, ok := t.db.tables[t.name][key]
+	t.db.mu.RUnlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
+	}
+	t.db.probe.DiskRead(len(r.comp))
+	comp = make([]byte, len(r.comp))
+	copy(comp, r.comp)
+	return comp, r.rawSize, nil
+}
+
 // BlobCacheStats reports the decompressed-blob LRU's counters; all zero
 // when the cache is disabled.
 func (db *DB) BlobCacheStats() (hits, misses, bytes int64) {

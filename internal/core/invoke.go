@@ -459,8 +459,7 @@ func (o *OnServe) stageExecutableOnce(sessionID, serviceName, stagedName, site s
 			// upload.
 		}
 	}
-	o.submit.uploads.Add(1)
-	checksum, err := o.cfg.Agent.Upload(sessionID, site, stagedName, blob)
+	checksum, err := o.uploadExecutable(sessionID, serviceName, stagedName, site, blob)
 	if err != nil {
 		return fmt.Errorf("onserve: stage executable: %w", err)
 	}

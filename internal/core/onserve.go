@@ -154,6 +154,25 @@ type Config struct {
 	// SubmitHubWindow is the hub's coalescing window; 0 means
 	// DefaultSubmitHubWindow. Ignored unless SubmitHub is set.
 	SubmitHubWindow time.Duration
+	// ChunkedStaging routes executable staging through the chunked,
+	// content-addressed GridFTP protocol: the site is probed for chunks
+	// it already holds, only missing chunks cross the WAN, and a transfer
+	// killed mid-flight resumes from the committed chunk set instead of
+	// byte zero (real GridFTP's partial transfers and restart markers).
+	// Off by default: the paper ships every staging as one monolithic
+	// PUT. Sites whose servers predate the chunk protocol transparently
+	// fall back to that PUT.
+	ChunkedStaging bool
+	// ChunkBytes is the chunk size for ChunkedStaging; 0 means
+	// gridftp.DefaultChunkBytes.
+	ChunkBytes int
+	// WireCompression, with ChunkedStaging, ships the database's stored
+	// gzip bytes across the WAN instead of the inflated executable; the
+	// site decompresses at commit. Off by default (the paper stages the
+	// raw file). Compressed chunking trades dedup granularity for wire
+	// bytes: a mid-file edit perturbs the gzip stream from that point on,
+	// so re-publish dedup works best with WireCompression off.
+	WireCompression bool
 }
 
 // OnServe is the middleware instance.
@@ -171,6 +190,8 @@ type OnServe struct {
 	// submit tallies the submission-path work (uploads, submit RPCs,
 	// stats fetches) across stock and batched paths.
 	submit submitCounters
+	// stage tallies the chunked staging data plane (Config.ChunkedStaging).
+	stage stageCounters
 
 	mu          sync.Mutex
 	users       map[string]UserAuth    // portal user -> myproxy logon

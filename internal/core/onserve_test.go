@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -28,6 +29,12 @@ type fixture struct {
 // newFixture wires a full onServe over a two-site grid with fast polling
 // so invocations finish quickly under the scaled clock.
 func newFixture(t *testing.T, mutate func(*Config)) *fixture {
+	return newFixtureHTTP(t, nil, mutate)
+}
+
+// newFixtureHTTP is newFixture with a caller-supplied grid-bound HTTP
+// client (the staging tests inject transport faults there).
+func newFixtureHTTP(t *testing.T, gridHTTP *http.Client, mutate func(*Config)) *fixture {
 	t.Helper()
 	clk := vtime.NewScaled(20000)
 	env, err := gridenv.Start(gridenv.Options{
@@ -53,6 +60,7 @@ func newFixture(t *testing.T, mutate func(*Config)) *fixture {
 	t.Cleanup(func() { db.Close() })
 	agent := cyberaide.New(cyberaide.Options{
 		Endpoints: env.Endpoints(), Clock: clk, Probe: probe, Cost: metrics.DefaultCost(),
+		HTTP: gridHTTP,
 	})
 	cfg := Config{
 		DB:                db,

@@ -21,6 +21,9 @@ type SubmitStats struct {
 	// UploadsCoalesced counts stagings served by another invocation's
 	// in-flight upload (Config.CoalesceStaging) instead of their own.
 	UploadsCoalesced uint64 `json:"uploads_coalesced"`
+	// UploadRetries counts transfers that failed transiently and were
+	// retried once after a backoff (each retry is also in Uploads).
+	UploadRetries uint64 `json:"upload_retries"`
 	// SubmitRPCs is the number of gatekeeper submit round-trips: one per
 	// Submit call, one per submit-batch chunk.
 	SubmitRPCs uint64 `json:"submit_rpcs"`
@@ -39,6 +42,7 @@ type SubmitStats struct {
 type submitCounters struct {
 	uploads          atomic.Uint64
 	uploadsCoalesced atomic.Uint64
+	uploadRetries    atomic.Uint64
 	submitRPCs       atomic.Uint64
 	submitsBatched   atomic.Uint64
 	statsRPCs        atomic.Uint64
@@ -50,6 +54,7 @@ func (o *OnServe) SubmitStats() SubmitStats {
 	return SubmitStats{
 		Uploads:          o.submit.uploads.Load(),
 		UploadsCoalesced: o.submit.uploadsCoalesced.Load(),
+		UploadRetries:    o.submit.uploadRetries.Load(),
 		SubmitRPCs:       o.submit.submitRPCs.Load(),
 		SubmitsBatched:   o.submit.submitsBatched.Load(),
 		StatsRPCs:        o.submit.statsRPCs.Load(),

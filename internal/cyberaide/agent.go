@@ -198,6 +198,29 @@ func (a *Agent) Upload(sessionID, site, name string, data []byte) (string, error
 	return checksum, nil
 }
 
+// UploadChunked stages a file via the chunked, content-addressed GridFTP
+// protocol: probe the site for chunks it already holds, ship only the
+// missing ones, commit the manifest. gz, when non-nil, is the gzip
+// encoding of data and rides the wire instead when smaller (the site
+// inflates at commit). Against a site whose server does not speak the
+// chunk protocol the transfer silently downgrades to a plain PUT — see
+// the returned stats' Fallback field.
+func (a *Agent) UploadChunked(sessionID, site, name string, data, gz []byte, chunkBytes int) (*gridftp.ChunkedPutStats, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	ftp, ok := sess.ftps[site]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSite, site)
+	}
+	stats, err := ftp.PutChunked(name, data, gz, chunkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("cyberaide: stage %s to %s (chunked): %w", name, site, err)
+	}
+	return stats, nil
+}
+
 // Replicate performs a GridFTP third-party transfer: the toSite server
 // pulls name directly from the fromSite server under the session
 // identity, so the bytes never cross the agent's own (WAN) path.

@@ -60,6 +60,12 @@ type Options struct {
 	CoalesceStaging bool
 	SubmitHub       bool
 	SubmitHubWindow time.Duration
+	// ChunkedStaging / ChunkBytes / WireCompression select the chunked,
+	// content-addressed staging data plane (see core.Config); off keeps
+	// the paper's monolithic uncompressed PUT per staging.
+	ChunkedStaging  bool
+	ChunkBytes      int
+	WireCompression bool
 	// Cost overrides the appliance CPU cost model (nil = defaults).
 	Cost *metrics.Cost
 }
@@ -185,6 +191,9 @@ func newRig(opts Options) (*rig, error) {
 		CoalesceStaging:   opts.CoalesceStaging,
 		SubmitHub:         opts.SubmitHub,
 		SubmitHubWindow:   opts.SubmitHubWindow,
+		ChunkedStaging:    opts.ChunkedStaging,
+		ChunkBytes:        opts.ChunkBytes,
+		WireCompression:   opts.WireCompression,
 	})
 	if err != nil {
 		env.Close()

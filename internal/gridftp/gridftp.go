@@ -45,6 +45,9 @@ var (
 	ErrChecksum = errors.New("gridftp: checksum mismatch")
 	ErrNoFile   = errors.New("gridftp: no such file")
 	ErrBadInput = errors.New("gridftp: malformed request")
+	// ErrNoChunk flags a commit referencing a chunk the server no longer
+	// holds (evicted or never shipped); the client re-probes and re-ships.
+	ErrNoChunk = errors.New("gridftp: missing chunk")
 )
 
 // Server fronts one site's staging store.
@@ -55,6 +58,9 @@ type Server struct {
 	// http carries outbound third-party transfers (fetch); nil means
 	// http.DefaultClient.
 	http *http.Client
+	// chunks is the content-addressed store behind the chunked-transfer
+	// endpoints (see chunks.go).
+	chunks *chunkStore
 }
 
 // NewServer builds a staging server for store. httpClient carries the
@@ -65,7 +71,13 @@ func NewServer(store *gridsim.Store, trust *xsec.TrustStore, clock vtime.Clock, 
 	if clock == nil {
 		clock = vtime.Real{}
 	}
-	return &Server{store: store, trust: trust, clock: clock, http: httpClient}
+	return &Server{
+		store:  store,
+		trust:  trust,
+		clock:  clock,
+		http:   httpClient,
+		chunks: newChunkStore(defaultChunkStoreBytes),
+	}
 }
 
 func (s *Server) httpClient() *http.Client {
@@ -106,6 +118,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Path == "/ftp-fetch" && r.Method == http.MethodPost {
 		s.fetch(w, r)
+		return
+	}
+	// Chunked-transfer endpoints live under /ftp/ but contain "/" in the
+	// trailing component, so stock servers reject them with 400 — that is
+	// the downgrade signal clients use to fall back to a plain PUT. They
+	// must therefore be routed before the generic /ftp/<name> parse.
+	if r.URL.Path == "/ftp/chunks/have" && r.Method == http.MethodPost {
+		s.haveChunks(w, r)
+		return
+	}
+	if digest, ok := strings.CutPrefix(r.URL.Path, "/ftp/chunk/"); ok && r.Method == http.MethodPut {
+		s.putChunk(w, r, digest)
+		return
+	}
+	if r.URL.Path == "/ftp/commit" && r.Method == http.MethodPost {
+		s.commit(w, r)
 		return
 	}
 	if !strings.HasPrefix(r.URL.Path, "/ftp/") {
@@ -468,6 +496,8 @@ func readError(resp *http.Response) error {
 		sentinel = ErrDenied
 	case http.StatusNotFound:
 		sentinel = ErrNoFile
+	case http.StatusConflict:
+		sentinel = ErrNoChunk
 	default:
 		sentinel = ErrBadInput
 	}

@@ -18,6 +18,7 @@ import (
 
 type fixture struct {
 	store *gridsim.Store
+	srv   *Server
 	alice *Client
 	bob   *Client
 	url   string
@@ -38,6 +39,7 @@ func newFixture(t testing.TB) *fixture {
 	t.Cleanup(hs.Close)
 	return &fixture{
 		store: store,
+		srv:   srv,
 		alice: &Client{BaseURL: hs.URL, Cred: alice},
 		bob:   &Client{BaseURL: hs.URL, Cred: bob},
 		url:   hs.URL,
