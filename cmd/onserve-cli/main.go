@@ -7,6 +7,7 @@
 //	onserve-cli -portal ... discover -pattern 'Pi%'
 //	onserve-cli -portal ... invoke -service PiService -arg digits=100 -wait
 //	onserve-cli -portal ... output -ticket inv-000001-abcdef
+//	onserve-cli -portal ... trace -ticket inv-000001-abcdef
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		err = cmdInvoke(portalURL, rest)
 	case "status", "output", "cancel":
 		err = cmdTicket(portalURL, cmd, rest)
+	case "trace":
+		err = cmdTrace(portalURL, rest)
 	case "delete":
 		err = cmdDelete(portalURL, rest)
 	default:
@@ -73,6 +76,7 @@ commands:
   status   -ticket T
   output   -ticket T
   cancel   -ticket T
+  trace    -ticket T
   delete   -service S`)
 }
 
@@ -255,6 +259,68 @@ func cmdTicket(portalURL, cmd string, args []string) error {
 		return fmt.Errorf("%s failed (%d): %s", cmd, resp.StatusCode, body)
 	}
 	fmt.Println(strings.TrimSpace(string(body)))
+	return nil
+}
+
+// cmdTrace fetches the invocation's span tree and renders a text
+// waterfall: one line per span, indented by depth, with duration and
+// the attributes that attribute the time (site, bytes, state).
+func cmdTrace(portalURL string, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	ticket := fs.String("ticket", "", "invocation ticket")
+	fs.Parse(args)
+	if *ticket == "" {
+		return fmt.Errorf("trace needs -ticket")
+	}
+	resp, err := http.Get(portalURL + "/api/trace?ticket=" + *ticket)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("trace failed (%d): %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Spans []struct {
+			SpanID     string            `json:"span_id"`
+			ParentID   string            `json:"parent_id"`
+			Service    string            `json:"service"`
+			Name       string            `json:"name"`
+			DurationMS float64           `json:"duration_ms"`
+			Status     string            `json:"status"`
+			Message    string            `json:"message"`
+			Attrs      map[string]string `json:"attrs"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return err
+	}
+	if len(doc.Spans) == 0 {
+		fmt.Println("no spans recorded (tracing off, or evicted from the ring)")
+		return nil
+	}
+	depth := make(map[string]int, len(doc.Spans))
+	for _, sp := range doc.Spans { // spans arrive start-sorted, parents first
+		d := 0
+		if sp.ParentID != "" {
+			d = depth[sp.ParentID] + 1
+		}
+		depth[sp.SpanID] = d
+		line := fmt.Sprintf("%*s%s/%s %.1fms", 2*d, "", sp.Service, sp.Name, sp.DurationMS)
+		for _, k := range []string{"site", "bytes", "state", "cache", "ticket"} {
+			if v, ok := sp.Attrs[k]; ok {
+				line += " " + k + "=" + v
+			}
+		}
+		if sp.Status == "error" {
+			line += " ERROR"
+			if sp.Message != "" {
+				line += " (" + sp.Message + ")"
+			}
+		}
+		fmt.Println(line)
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/appliance"
 	"repro/internal/core"
 	"repro/internal/cyberaide"
+	"repro/internal/trace"
 )
 
 type endpointsFile struct {
@@ -37,17 +38,18 @@ func main() {
 		endpointsPath = flag.String("endpoints", "grid-endpoints.json", "grid endpoints file written by gridd")
 		listen        = flag.String("listen", "127.0.0.1:0", "address for the appliance HTTP endpoint")
 		dbDir         = flag.String("db", "", "database directory (empty: in-memory)")
+		tracing       = flag.Bool("trace", false, "record appliance-side invocation spans (read back via /api/trace, /trace, onserve-cli trace)")
 		users         userList
 	)
 	flag.Var(&users, "user", "portal-user:myproxy-passphrase to register (repeatable)")
 	flag.Parse()
-	if err := run(*endpointsPath, *listen, *dbDir, users); err != nil {
+	if err := run(*endpointsPath, *listen, *dbDir, *tracing, users); err != nil {
 		fmt.Fprintln(os.Stderr, "onserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(endpointsPath, listen, dbDir string, users userList) error {
+func run(endpointsPath, listen, dbDir string, tracing bool, users userList) error {
 	raw, err := os.ReadFile(endpointsPath)
 	if err != nil {
 		return fmt.Errorf("read endpoints (run gridd first?): %w", err)
@@ -57,14 +59,20 @@ func run(endpointsPath, listen, dbDir string, users userList) error {
 		return fmt.Errorf("parse endpoints: %w", err)
 	}
 
-	img, err := appliance.BuildImage(appliance.Config{
+	cfg := appliance.Config{
 		Endpoints: cyberaide.Endpoints{
 			GramURL:     eps.GramURL,
 			MyProxyAddr: eps.MyProxyAddr,
 			FTPURLs:     eps.FTPURLs,
 		},
 		DBDir: dbDir,
-	})
+	}
+	if tracing {
+		// The grid services live in another process (gridd), so the
+		// trace tree covers the appliance's side of the pipeline.
+		cfg.Trace = trace.NewCollector(0, 0)
+	}
+	img, err := appliance.BuildImage(cfg)
 	if err != nil {
 		return err
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/portal"
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
 )
@@ -80,6 +81,10 @@ type Config struct {
 	// blobdb.Options); zero values keep the stock behaviour.
 	BlobCacheBytes int64
 	GroupCommit    bool
+	// Trace, when non-nil, turns on distributed tracing in the onServe
+	// pipeline, recording spans into this collector. Share one collector
+	// with gridenv.Options.Trace to get single cross-service trees.
+	Trace *trace.Collector
 }
 
 // Image is a built appliance image: validated configuration plus the
@@ -163,7 +168,7 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		HTTP:        cfg.GridHTTP,
 		MyProxyDial: cfg.MyProxyDial,
 	})
-	ons, err := core.New(core.Config{
+	coreCfg := core.Config{
 		DB:                db,
 		Container:         container,
 		Registry:          registry,
@@ -188,7 +193,11 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		ChunkedStaging:    cfg.ChunkedStaging,
 		ChunkBytes:        cfg.ChunkBytes,
 		WireCompression:   cfg.WireCompression,
-	})
+	}
+	if cfg.Trace != nil {
+		coreCfg.Tracing = trace.NewTracer("onserve", cfg.Clock, cfg.Trace)
+	}
+	ons, err := core.New(coreCfg)
 	if err != nil {
 		db.Close()
 		ln.Close()

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/gridsim"
+	"repro/internal/trace"
 )
 
 // waitFor polls cond until it holds or the (real-time) deadline passes.
@@ -52,11 +53,11 @@ func TestStockAuthenticatesPerInvocation(t *testing.T) {
 func TestGridSessionExpiryReauthenticates(t *testing.T) {
 	f := newFixture(t, func(cfg *Config) { cfg.SessionCache = true })
 	auth := UserAuth{MyProxyUser: "alice", Passphrase: "pw"}
-	id1, cached, err := f.ons.gridSession("alice", auth)
+	id1, cached, err := f.ons.gridSession("alice", auth, trace.SpanContext{})
 	if err != nil || cached {
 		t.Fatalf("first session id=%q cached=%v err=%v", id1, cached, err)
 	}
-	id2, cached, err := f.ons.gridSession("alice", auth)
+	id2, cached, err := f.ons.gridSession("alice", auth, trace.SpanContext{})
 	if err != nil || !cached || id2 != id1 {
 		t.Fatalf("second session id=%q cached=%v err=%v, want cached %q", id2, cached, err, id1)
 	}
@@ -65,7 +66,7 @@ func TestGridSessionExpiryReauthenticates(t *testing.T) {
 	f.ons.mu.Lock()
 	f.ons.sessions["alice"].expiresAt = f.clock.Now().Add(-time.Second)
 	f.ons.mu.Unlock()
-	id3, cached, err := f.ons.gridSession("alice", auth)
+	id3, cached, err := f.ons.gridSession("alice", auth, trace.SpanContext{})
 	if err != nil || cached {
 		t.Fatalf("expired session id=%q cached=%v err=%v, want fresh logon", id3, cached, err)
 	}
@@ -102,7 +103,7 @@ func TestStatsTTLServesCachedSnapshot(t *testing.T) {
 	ttl := 10 * time.Minute
 	f := newFixture(t, func(cfg *Config) { cfg.StatsTTL = ttl })
 	auth := UserAuth{MyProxyUser: "alice", Passphrase: "pw"}
-	sessID, _, err := f.ons.gridSession("alice", auth)
+	sessID, _, err := f.ons.gridSession("alice", auth, trace.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

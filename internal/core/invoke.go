@@ -14,6 +14,7 @@ import (
 	"repro/internal/gridsim"
 	"repro/internal/jsdl"
 	"repro/internal/soap"
+	"repro/internal/trace"
 )
 
 // InvState is an invocation's lifecycle state.
@@ -54,6 +55,12 @@ type Invocation struct {
 	// uses it to prune old terminal tickets.
 	onTerminal func(*Invocation)
 
+	// rootSpan/collectSpan are the invocation's trace spans (nil when
+	// tracing is off). Written before the collection goroutine starts,
+	// ended exactly once by finish.
+	rootSpan    *trace.Span
+	collectSpan *trace.Span
+
 	mu      sync.Mutex
 	state   InvState
 	output  string
@@ -85,6 +92,18 @@ func (inv *Invocation) Message() string {
 
 // DoneChan closes when the invocation is terminal.
 func (inv *Invocation) DoneChan() <-chan struct{} { return inv.done }
+
+// TraceID returns the invocation's hex trace id, or "" when untraced.
+func (inv *Invocation) TraceID() string {
+	s := inv.rootSpan.Context().String()
+	if s == "" {
+		return ""
+	}
+	return s[:32]
+}
+
+// collectCtx is the parent context for per-tick poll spans.
+func (inv *Invocation) collectCtx() trace.SpanContext { return inv.collectSpan.Context() }
 
 // StatusJSON renders the externally visible status.
 func (inv *Invocation) StatusJSON() (string, error) {
@@ -120,6 +139,17 @@ func (inv *Invocation) finish(s InvState, msg string, at time.Time) {
 	close(inv.done)
 	cb := inv.onTerminal
 	inv.mu.Unlock()
+	// End the span tree exactly once, on whichever path won the race —
+	// stock poller, long-poll, hub, watchdog, or cancel. Any non-DONE
+	// terminal state ends it with error status, so cancelled and
+	// watchdog-killed invocations never leak an open or "ok" tree.
+	if s != InvDone {
+		inv.collectSpan.Error(msg)
+		inv.rootSpan.Error(msg)
+	}
+	inv.collectSpan.Set("state", string(s))
+	inv.collectSpan.EndAt(at)
+	inv.rootSpan.EndAt(at)
 	if cb != nil {
 		cb(inv)
 	}
@@ -131,10 +161,32 @@ func (inv *Invocation) finish(s InvState, msg string, at time.Time) {
 // the Cyberaide agent, upload to the Grid, job description generation,
 // and job submission — then the tentative output poller takes over.
 func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocation, error) {
+	return o.InvokeCtx(serviceName, args, trace.SpanContext{})
+}
+
+// InvokeCtx is Invoke with a caller trace context: with Config.Tracing
+// set, the invocation records an "invoke" root span (under the caller's
+// context when valid, a new root trace otherwise) with child spans for
+// every pipeline stage, and propagates context to every grid service.
+// With Tracing nil this is Invoke — no spans, no allocations.
+func (o *OnServe) InvokeCtx(serviceName string, args map[string]string, parent trace.SpanContext) (*Invocation, error) {
+	root := o.cfg.Tracing.StartSpan("invoke", parent)
+	root.Set("service", serviceName)
+	inv, err := o.invoke(serviceName, args, root)
+	if err != nil {
+		root.Error(err.Error())
+		root.End()
+		return nil, err
+	}
+	return inv, nil
+}
+
+func (o *OnServe) invoke(serviceName string, args map[string]string, root *trace.Span) (*Invocation, error) {
 	info, err := o.ServiceInfo(serviceName)
 	if err != nil {
 		return nil, err
 	}
+	root.Set("user", info.Owner)
 	auth, err := o.userAuth(info.Owner)
 	if err != nil {
 		return nil, err
@@ -144,10 +196,15 @@ func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocatio
 	// It is loaded from the database and then stored in a temporary
 	// location." Loading decompresses (the first CPU peak of Fig. 6);
 	// the temporary spill is a disk write.
+	dbSp := o.cfg.Tracing.StartSpan("db.fetch", root.Context())
 	rec, err := o.cfg.DB.Table(ExecutablesTable).Get(serviceName)
 	if err != nil {
+		dbSp.Error(err.Error())
+		dbSp.End()
 		return nil, fmt.Errorf("onserve: load executable: %w", err)
 	}
+	dbSp.SetInt("bytes", int64(len(rec.Blob)))
+	dbSp.End()
 	o.cfg.Probe.DiskWrite(len(rec.Blob))
 
 	// Authentication: "Before any use of the Grid is possible, an
@@ -155,17 +212,27 @@ func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocatio
 	// With the session cache on, the previous logon's session is reused
 	// until its proxy nears expiry; an auth fault on a cached session
 	// invalidates it and the pipeline retries once with a fresh logon.
-	sessID, cached, err := o.gridSession(info.Owner, auth)
+	lg := o.cfg.Tracing.StartSpan("logon", root.Context())
+	sessID, cached, err := o.gridSession(info.Owner, auth, lg.Context())
 	if err != nil {
+		lg.Error(err.Error())
+		lg.End()
 		return nil, err
 	}
-	site, jobID, err := o.submitPipeline(sessID, serviceName, info, args, rec.Blob)
+	lg.Set("cached", fmt.Sprintf("%t", cached))
+	lg.End()
+	site, jobID, err := o.submitPipeline(sessID, serviceName, info, args, rec.Blob, root.Context())
 	if err != nil && cached && isSessionFault(err) {
 		o.invalidateSession(info.Owner, sessID)
-		if sessID, _, err = o.gridSession(info.Owner, auth); err != nil {
+		lg = o.cfg.Tracing.StartSpan("logon", root.Context())
+		if sessID, _, err = o.gridSession(info.Owner, auth, lg.Context()); err != nil {
+			lg.Error(err.Error())
+			lg.End()
 			return nil, err
 		}
-		site, jobID, err = o.submitPipeline(sessID, serviceName, info, args, rec.Blob)
+		lg.Set("cached", "false")
+		lg.End()
+		site, jobID, err = o.submitPipeline(sessID, serviceName, info, args, rec.Blob, root.Context())
 	}
 	if err != nil {
 		return nil, err
@@ -185,8 +252,13 @@ func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocatio
 		done:      make(chan struct{}),
 	}
 	inv.onTerminal = o.noteTerminal
+	inv.rootSpan = root
+	inv.collectSpan = o.cfg.Tracing.StartSpan("collect", root.Context())
 	o.invocations[inv.Ticket] = inv
 	o.mu.Unlock()
+	root.Set("ticket", inv.Ticket)
+	root.Set("site", site)
+	root.Set("job_id", jobID)
 
 	switch {
 	case o.hub != nil:
@@ -203,16 +275,22 @@ func (o *OnServe) Invoke(serviceName string, args map[string]string) (*Invocatio
 // and submission under one agent session. Services with declared
 // stage-in data may only run where the owner staged it, so later
 // candidates are tried when submission reports a staging problem.
-func (o *OnServe) submitPipeline(sessionID, serviceName string, info *ExecutableInfo, args map[string]string, blob []byte) (site, jobID string, err error) {
+func (o *OnServe) submitPipeline(sessionID, serviceName string, info *ExecutableInfo, args map[string]string, blob []byte, tc trace.SpanContext) (site, jobID string, err error) {
 	candidates, err := o.pickSites(sessionID)
 	if err != nil {
 		return "", "", err
 	}
 	stagedName := serviceName + ".gsh"
 	for i, candidate := range candidates {
-		if err = o.stageExecutable(sessionID, serviceName, stagedName, candidate, blob); err != nil {
+		st := o.cfg.Tracing.StartSpan("stage", tc)
+		st.Set("site", candidate)
+		st.SetInt("bytes", int64(len(blob)))
+		if err = o.stageExecutable(sessionID, serviceName, stagedName, candidate, blob, st); err != nil {
+			st.Error(err.Error())
+			st.End()
 			return "", "", err
 		}
+		st.End()
 		// Job description generation + submission: "a job description is
 		// generated by using the specified parameters and the name of the
 		// executable. Finally, the job is submitted to the Grid." This is
@@ -226,10 +304,16 @@ func (o *OnServe) submitPipeline(sessionID, serviceName string, info *Executable
 			WallTime:   o.cfg.InvocationTimeout,
 			StageIn:    info.StageIn,
 		}
-		jobID, err = o.submitJob(sessionID, &desc)
+		sb := o.cfg.Tracing.StartSpan("submit", tc)
+		sb.Set("site", candidate)
+		jobID, err = o.submitJob(sessionID, &desc, sb.Context())
 		if err == nil {
+			sb.Set("job_id", jobID)
+			sb.End()
 			return candidate, jobID, nil
 		}
+		sb.Error(err.Error())
+		sb.End()
 		// Only a missing stage-in file justifies trying the next site.
 		if len(info.StageIn) == 0 || i == len(candidates)-1 ||
 			!strings.Contains(err.Error(), "not staged") {
@@ -243,7 +327,7 @@ func (o *OnServe) submitPipeline(sessionID, serviceName string, info *Executable
 // one when Config.SessionCache is on and the proxy is comfortably inside
 // its lifetime, a fresh MyProxy logon otherwise. cached reports whether
 // the ID came from the cache (and so may need the fault-retry path).
-func (o *OnServe) gridSession(owner string, auth UserAuth) (id string, cached bool, err error) {
+func (o *OnServe) gridSession(owner string, auth UserAuth, tc trace.SpanContext) (id string, cached bool, err error) {
 	if o.cfg.SessionCache {
 		o.mu.Lock()
 		s := o.sessions[owner]
@@ -252,7 +336,7 @@ func (o *OnServe) gridSession(owner string, auth UserAuth) (id string, cached bo
 			return s.id, true, nil
 		}
 	}
-	sess, err := o.cfg.Agent.Authenticate(auth.MyProxyUser, auth.Passphrase, o.cfg.ProxyLifetime)
+	sess, err := o.cfg.Agent.WithTrace(tc).Authenticate(auth.MyProxyUser, auth.Passphrase, o.cfg.ProxyLifetime)
 	if err != nil {
 		return "", false, fmt.Errorf("onserve: authenticate %s: %w", owner, err)
 	}
@@ -386,9 +470,9 @@ type statsFlight struct {
 // leader failure wakes the waiters and exactly one of them takes over
 // (each failed flight releases its leader with the error), so the
 // stampede can never come back through the retry path.
-func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site string, blob []byte) error {
+func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site string, blob []byte, sp *trace.Span) error {
 	if !o.cfg.CoalesceStaging {
-		return o.stageExecutableOnce(sessionID, serviceName, stagedName, site, blob)
+		return o.stageExecutableOnce(sessionID, serviceName, stagedName, site, blob, sp)
 	}
 	key := serviceName + "|" + site
 	for {
@@ -398,6 +482,7 @@ func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site strin
 			<-f.done
 			if f.err == nil {
 				o.submit.uploadsCoalesced.Add(1)
+				sp.Set("coalesced", "true")
 				return nil
 			}
 			continue // leader failed: elect a new one
@@ -405,7 +490,7 @@ func (o *OnServe) stageExecutable(sessionID, serviceName, stagedName, site strin
 		f := &stagingFlight{done: make(chan struct{})}
 		o.stagingFlights[key] = f
 		o.mu.Unlock()
-		f.err = o.stageExecutableOnce(sessionID, serviceName, stagedName, site, blob)
+		f.err = o.stageExecutableOnce(sessionID, serviceName, stagedName, site, blob, sp)
 		o.mu.Lock()
 		delete(o.stagingFlights, key)
 		o.mu.Unlock()
@@ -425,7 +510,7 @@ type stagingFlight struct {
 // staging cache and site-to-site replication when enabled, otherwise by
 // uploading across the WAN — the paper's behaviour, where files "will
 // even be reloaded when executed a 2nd time".
-func (o *OnServe) stageExecutableOnce(sessionID, serviceName, stagedName, site string, blob []byte) error {
+func (o *OnServe) stageExecutableOnce(sessionID, serviceName, stagedName, site string, blob []byte, sp *trace.Span) error {
 	cacheKey := serviceName + "|" + site
 	if o.cfg.StagingCache {
 		o.mu.Lock()
@@ -439,10 +524,12 @@ func (o *OnServe) stageExecutableOnce(sessionID, serviceName, stagedName, site s
 		}
 		o.mu.Unlock()
 		if cached != "" {
+			sp.Set("cache", "hit")
 			return nil
 		}
 		if replicateFrom != "" {
-			sum, err := o.cfg.Agent.Replicate(sessionID, replicateFrom, site, stagedName)
+			sp.Set("replicated_from", replicateFrom)
+			sum, err := o.cfg.Agent.WithTrace(sp.Context()).Replicate(sessionID, replicateFrom, site, stagedName)
 			if err == nil {
 				o.mu.Lock()
 				o.staged[cacheKey] = sum
@@ -459,7 +546,7 @@ func (o *OnServe) stageExecutableOnce(sessionID, serviceName, stagedName, site s
 			// upload.
 		}
 	}
-	checksum, err := o.uploadExecutable(sessionID, serviceName, stagedName, site, blob)
+	checksum, err := o.uploadExecutable(sessionID, serviceName, stagedName, site, blob, sp)
 	if err != nil {
 		return fmt.Errorf("onserve: stage executable: %w", err)
 	}
@@ -503,6 +590,7 @@ func (o *OnServe) pollOutput(inv *Invocation) {
 		inv.finish(InvKilled, fmt.Sprintf("watchdog: invocation exceeded %v", o.cfg.InvocationTimeout), o.clock.Now())
 	})
 	defer wd.Stop()
+	lastLen := -1
 	for {
 		o.clock.Sleep(o.cfg.PollInterval)
 		if inv.State().Terminal() {
@@ -513,11 +601,13 @@ func (o *OnServe) pollOutput(inv *Invocation) {
 		// state is current by construction, so no second fetch is needed
 		// (the stock loop fetched the whole stdout twice on the DONE
 		// round).
+		ps := o.cfg.Tracing.StartSpan("poll", inv.collectCtx())
 		o.collector.statusRPCs.Add(1)
 		st, err := o.cfg.Agent.Status(inv.sessionID, inv.JobID)
 		if err != nil {
 			continue // transient; keep polling until the watchdog decides
 		}
+		changed := false
 		out, outErr := o.cfg.Agent.Output(inv.sessionID, inv.JobID)
 		if outErr == nil {
 			// The snapshot is written to disk on every poll, whether or
@@ -527,6 +617,18 @@ func (o *OnServe) pollOutput(inv *Invocation) {
 			o.collector.pollDiskWrites.Add(1)
 			o.cfg.Probe.DiskWrite(len(out))
 			inv.setOutput(out)
+			changed = len(out) != lastLen
+			lastLen = len(out)
+			ps.SetInt("bytes", int64(len(out)))
+		}
+		// Record only informative ticks (output moved or terminal state
+		// observed); a quiet tick abandons its span unrecorded, so
+		// sustained polling cannot flood the ring with no-op spans.
+		terminal := st.State == "DONE" || st.State == "FAILED" ||
+			st.State == "CANCELLED" || st.State == "TIMEOUT"
+		if changed || terminal {
+			ps.Set("state", st.State)
+			ps.End()
 		}
 		switch st.State {
 		case "DONE":
@@ -558,6 +660,10 @@ func (o *OnServe) waitLongPoll(inv *Invocation) {
 		if inv.State().Terminal() {
 			return
 		}
+		// The span is recorded only for the round that observes the
+		// terminal state; elapsed or failed rounds abandon it unrecorded.
+		ps := o.cfg.Tracing.StartSpan("poll", inv.collectCtx())
+		ps.Set("long_poll", "true")
 		o.collector.statusRPCs.Add(1)
 		st, err := o.cfg.Agent.Wait(inv.sessionID, inv.JobID, 30*time.Second)
 		if err != nil {
@@ -585,7 +691,10 @@ func (o *OnServe) waitLongPoll(inv *Invocation) {
 			o.collector.pollDiskWrites.Add(1)
 			o.cfg.Probe.DiskWrite(len(out))
 			inv.setOutput(out)
+			ps.SetInt("bytes", int64(len(out)))
 		}
+		ps.Set("state", st.State)
+		ps.End()
 		inv.finish(terminal, st.Message, o.clock.Now())
 		return
 	}

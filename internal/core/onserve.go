@@ -26,6 +26,7 @@ import (
 	"repro/internal/gsh"
 	"repro/internal/metrics"
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
 	"repro/internal/wsdl"
@@ -173,6 +174,12 @@ type Config struct {
 	// bytes: a mid-file edit perturbs the gzip stream from that point on,
 	// so re-publish dedup works best with WireCompression off.
 	WireCompression bool
+	// Tracing, when set, records a distributed span tree per invocation
+	// (logon, DB fetch, staging, submit, polling, output collection) and
+	// propagates context to every grid service via the X-Grid-Trace
+	// header. Off (nil) by default; the nil tracer is a zero-allocation
+	// no-op, so the invoke hot path is untouched when tracing is off.
+	Tracing *trace.Tracer
 }
 
 // OnServe is the middleware instance.
@@ -264,6 +271,26 @@ func New(cfg Config) (*OnServe, error) {
 	return o, nil
 }
 
+// Tracer returns the configured tracer (nil when tracing is off).
+func (o *OnServe) Tracer() *trace.Tracer { return o.cfg.Tracing }
+
+// InvocationTrace returns every retained span of the invocation's trace,
+// sorted by start time. Unknown tickets error; an untraced invocation
+// (tracing off, or spans already evicted from the ring) returns an empty
+// slice.
+func (o *OnServe) InvocationTrace(ticket string) ([]trace.SpanData, error) {
+	inv, err := o.Invocation(ticket)
+	if err != nil {
+		return nil, err
+	}
+	id := inv.TraceID()
+	col := o.cfg.Tracing.Collector()
+	if id == "" || col == nil {
+		return nil, nil
+	}
+	return col.Trace(id), nil
+}
+
 // RegisterUser records the MyProxy logon onServe performs when executing
 // on behalf of user.
 func (o *OnServe) RegisterUser(user string, auth UserAuth) {
@@ -335,6 +362,28 @@ func ServiceNameFor(fileName string) (string, error) {
 // the service, and publish it in the UDDI registry. It returns the
 // published record.
 func (o *OnServe) UploadAndGenerate(user, fileName, description string, params []wsdl.ParamDef, content []byte) (*uddi.Record, error) {
+	return o.UploadAndGenerateCtx(user, fileName, description, params, content, trace.SpanContext{})
+}
+
+// UploadAndGenerateCtx is UploadAndGenerate with a caller trace context:
+// the upload records one "upload" span (a new root trace when the parent
+// is invalid, e.g. the portal received no X-Grid-Trace header).
+func (o *OnServe) UploadAndGenerateCtx(user, fileName, description string, params []wsdl.ParamDef, content []byte, parent trace.SpanContext) (*uddi.Record, error) {
+	sp := o.cfg.Tracing.StartSpan("upload", parent)
+	sp.Set("user", user)
+	sp.Set("file", fileName)
+	sp.SetInt("bytes", int64(len(content)))
+	rec, err := o.uploadAndGenerate(user, fileName, description, params, content)
+	if err != nil {
+		sp.Error(err.Error())
+	} else {
+		sp.Set("service", rec.Name)
+	}
+	sp.End()
+	return rec, err
+}
+
+func (o *OnServe) uploadAndGenerate(user, fileName, description string, params []wsdl.ParamDef, content []byte) (*uddi.Record, error) {
 	if _, err := o.userAuth(user); err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/gridsim"
 	"repro/internal/metrics"
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
 	"repro/internal/wsdl"
@@ -35,6 +36,12 @@ func newFixture(t *testing.T, mutate func(*Config)) *fixture {
 // newFixtureHTTP is newFixture with a caller-supplied grid-bound HTTP
 // client (the staging tests inject transport faults there).
 func newFixtureHTTP(t *testing.T, gridHTTP *http.Client, mutate func(*Config)) *fixture {
+	return newFixtureTraced(t, gridHTTP, nil, mutate)
+}
+
+// newFixtureTraced is newFixtureHTTP with a shared span collector wired
+// into every grid service and the onServe core.
+func newFixtureTraced(t *testing.T, gridHTTP *http.Client, col *trace.Collector, mutate func(*Config)) *fixture {
 	t.Helper()
 	clk := vtime.NewScaled(20000)
 	env, err := gridenv.Start(gridenv.Options{
@@ -43,6 +50,7 @@ func newFixtureHTTP(t *testing.T, gridHTTP *http.Client, mutate func(*Config)) *
 			{Name: "siteA", Nodes: 2, CoresPerNode: 4},
 			{Name: "siteB", Nodes: 2, CoresPerNode: 4},
 		},
+		Trace: col,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -73,6 +81,9 @@ func newFixtureHTTP(t *testing.T, gridHTTP *http.Client, mutate func(*Config)) *
 		Cost:              metrics.DefaultCost(),
 		PollInterval:      2 * time.Second,
 		InvocationTimeout: time.Hour,
+	}
+	if col != nil {
+		cfg.Tracing = trace.NewTracer("onserve", clk, col)
 	}
 	if mutate != nil {
 		mutate(&cfg)

@@ -183,6 +183,11 @@ func (sh *hubShard) collectOne(sessionID string, hj *hubJob, e gram.BatchEntry) 
 	}
 	terminal := e.State == "DONE" || e.State == "FAILED" ||
 		e.State == "CANCELLED" || e.State == "TIMEOUT"
+	// As in the stock poller, only informative ticks (output moved or
+	// terminal) record their span; quiet ticks abandon it unrecorded.
+	ps := o.cfg.Tracing.StartSpan("poll", inv.collectCtx())
+	ps.Set("batched", "true")
+	fetched := false
 	if e.OutputVersion != hj.lastVer {
 		out, ver, changed, err := o.cfg.Agent.OutputIfChanged(sessionID, inv.JobID, hj.lastVer)
 		if err != nil {
@@ -196,6 +201,8 @@ func (sh *hubShard) collectOne(sessionID string, hj *hubJob, e gram.BatchEntry) 
 			o.collector.pollDiskWrites.Add(1)
 			o.cfg.Probe.DiskWrite(len(out))
 			inv.setOutput(out)
+			fetched = true
+			ps.SetInt("bytes", int64(len(out)))
 		} else {
 			o.collector.outputNotModified.Add(1)
 		}
@@ -204,6 +211,10 @@ func (sh *hubShard) collectOne(sessionID string, hj *hubJob, e gram.BatchEntry) 
 		// terminal state with an unchanged version means the snapshot we
 		// already hold is the final output — no fetch at all.
 		o.collector.outputNotModified.Add(1)
+	}
+	if fetched || terminal {
+		ps.Set("state", e.State)
+		ps.End()
 	}
 	if !terminal {
 		return

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cyberaide"
 	"repro/internal/gridftp"
+	"repro/internal/trace"
 )
 
 // stageRetryBackoff is how long the stock upload path waits before its
@@ -70,21 +71,23 @@ func (o *OnServe) StageStats() StageStats {
 // 60 s WAN upload no longer kills the invocation. Session faults are
 // never retried here (Invoke's invalidate-and-retry owns those), and
 // neither are the server's definitive rejections.
-func (o *OnServe) uploadExecutable(sessionID, serviceName, stagedName, site string, blob []byte) (string, error) {
-	checksum, err := o.uploadOnce(sessionID, serviceName, stagedName, site, blob)
+func (o *OnServe) uploadExecutable(sessionID, serviceName, stagedName, site string, blob []byte, sp *trace.Span) (string, error) {
+	checksum, err := o.uploadOnce(sessionID, serviceName, stagedName, site, blob, sp)
 	if err == nil || !retryableStageErr(err) {
 		return checksum, err
 	}
 	o.submit.uploadRetries.Add(1)
+	sp.Set("retried", "true")
 	o.clock.Sleep(stageRetryBackoff)
-	return o.uploadOnce(sessionID, serviceName, stagedName, site, blob)
+	return o.uploadOnce(sessionID, serviceName, stagedName, site, blob, sp)
 }
 
 // uploadOnce is one transfer attempt.
-func (o *OnServe) uploadOnce(sessionID, serviceName, stagedName, site string, blob []byte) (string, error) {
+func (o *OnServe) uploadOnce(sessionID, serviceName, stagedName, site string, blob []byte, sp *trace.Span) (string, error) {
 	o.submit.uploads.Add(1)
+	ag := o.cfg.Agent.WithTrace(sp.Context())
 	if !o.cfg.ChunkedStaging {
-		return o.cfg.Agent.Upload(sessionID, site, stagedName, blob)
+		return ag.Upload(sessionID, site, stagedName, blob)
 	}
 	var gz []byte
 	if o.cfg.WireCompression {
@@ -96,7 +99,7 @@ func (o *OnServe) uploadOnce(sessionID, serviceName, stagedName, site string, bl
 			gz = comp
 		}
 	}
-	stats, err := o.cfg.Agent.UploadChunked(sessionID, site, stagedName, blob, gz, o.cfg.ChunkBytes)
+	stats, err := ag.UploadChunked(sessionID, site, stagedName, blob, gz, o.cfg.ChunkBytes)
 	if err != nil {
 		return "", err
 	}
@@ -111,6 +114,9 @@ func (o *OnServe) uploadOnce(sessionID, serviceName, stagedName, site string, bl
 	if stats.Fallback {
 		o.stage.fallbacks.Add(1)
 	}
+	sp.SetInt("wire_bytes", stats.WireBytes)
+	sp.SetInt("chunks_shipped", int64(stats.ChunksShipped))
+	sp.SetInt("chunks_deduped", int64(stats.ChunksDeduped))
 	return stats.Checksum, nil
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/gram"
 	"repro/internal/jsdl"
+	"repro/internal/trace"
 )
 
 // SubmitStats counts the work the submission front-end performs on the
@@ -66,12 +67,12 @@ func (o *OnServe) SubmitStats() SubmitStats {
 // submit hub when Config.SubmitHub is on and directly otherwise. Either
 // way the caller sees the per-job result, so submitPipeline's
 // per-candidate-site staging-retry semantics are unchanged.
-func (o *OnServe) submitJob(sessionID string, desc *jsdl.Description) (string, error) {
+func (o *OnServe) submitJob(sessionID string, desc *jsdl.Description, tc trace.SpanContext) (string, error) {
 	if o.shub != nil {
-		return o.shub.submit(sessionID, desc)
+		return o.shub.submit(sessionID, desc, tc)
 	}
 	o.submit.submitRPCs.Add(1)
-	return o.cfg.Agent.Submit(sessionID, desc)
+	return o.cfg.Agent.WithTrace(tc).Submit(sessionID, desc)
 }
 
 // submitHub coalesces GRAM submissions (Config.SubmitHub): submissions
@@ -89,10 +90,13 @@ type submitHub struct {
 	pending map[string][]*submitTicket
 }
 
-// submitTicket is one queued submission and its reply channel.
+// submitTicket is one queued submission and its reply channel. trace is
+// the submitter's wire context, carried through the batch so the
+// gatekeeper's per-entry span parents under the right invocation.
 type submitTicket struct {
-	desc *jsdl.Description
-	done chan submitOutcome
+	desc  *jsdl.Description
+	trace string
+	done  chan submitOutcome
 }
 
 // submitOutcome is one submission's result.
@@ -107,8 +111,8 @@ func newSubmitHub(o *OnServe) *submitHub {
 
 // submit enqueues one description and blocks until its batch round-trip
 // delivers the assigned job ID or this entry's error.
-func (h *submitHub) submit(sessionID string, desc *jsdl.Description) (string, error) {
-	t := &submitTicket{desc: desc, done: make(chan submitOutcome, 1)}
+func (h *submitHub) submit(sessionID string, desc *jsdl.Description, tc trace.SpanContext) (string, error) {
+	t := &submitTicket{desc: desc, trace: tc.String(), done: make(chan submitOutcome, 1)}
 	h.mu.Lock()
 	h.pending[sessionID] = append(h.pending[sessionID], t)
 	if len(h.pending[sessionID]) == 1 {
@@ -130,12 +134,14 @@ func (h *submitHub) flushAfterWindow(sessionID string) {
 	delete(h.pending, sessionID)
 	h.mu.Unlock()
 	descs := make([]*jsdl.Description, len(batch))
+	traces := make([]string, len(batch))
 	for i, t := range batch {
 		descs[i] = t.desc
+		traces[i] = t.trace
 	}
 	o.submit.submitRPCs.Add(uint64((len(descs) + gram.MaxBatch - 1) / gram.MaxBatch))
 	o.submit.submitsBatched.Add(uint64(len(descs)))
-	entries, err := o.cfg.Agent.SubmitBatch(sessionID, descs)
+	entries, err := o.cfg.Agent.SubmitBatchTraced(sessionID, descs, traces)
 	if err == nil && len(entries) != len(batch) {
 		err = fmt.Errorf("onserve: submit batch answered %d of %d entries", len(entries), len(batch))
 	}

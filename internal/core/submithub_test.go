@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
 )
@@ -190,12 +191,12 @@ func TestReplicateSessionFaultPropagatesWithoutDoomedUpload(t *testing.T) {
 		t.Fatal(err)
 	}
 	blob := []byte("echo hi\n")
-	if err := f.ons.stageExecutable(sess.ID, "RepService", "RepService.gsh", "siteA", blob); err != nil {
+	if err := f.ons.stageExecutable(sess.ID, "RepService", "RepService.gsh", "siteA", blob, nil); err != nil {
 		t.Fatal(err)
 	}
 	f.cfg.Agent.Logout(sess.ID)
 	before := f.ons.SubmitStats().Uploads
-	err = f.ons.stageExecutable(sess.ID, "RepService", "RepService.gsh", "siteB", blob)
+	err = f.ons.stageExecutable(sess.ID, "RepService", "RepService.gsh", "siteB", blob, nil)
 	if !errors.Is(err, cyberaide.ErrNoSession) {
 		t.Fatalf("replicate session fault not propagated: %v", err)
 	}
@@ -257,7 +258,7 @@ func TestSubmitHubBatchesConcurrentSubmissions(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			desc := jsdl.Description{Executable: "hello.gsh", Site: "siteA", WallTime: time.Hour}
-			id, err := f.ons.submitJob(sess.ID, &desc)
+			id, err := f.ons.submitJob(sess.ID, &desc, trace.SpanContext{})
 			if err != nil {
 				errs <- err
 				return
@@ -305,12 +306,12 @@ func TestSubmitHubIsolatesPerEntryFailures(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		desc := jsdl.Description{Executable: "good.gsh", Site: "siteA", WallTime: time.Hour}
-		goodID, goodErr = f.ons.submitJob(sess.ID, &desc)
+		goodID, goodErr = f.ons.submitJob(sess.ID, &desc, trace.SpanContext{})
 	}()
 	go func() {
 		defer wg.Done()
 		desc := jsdl.Description{Executable: "ghost.gsh", Site: "siteA", WallTime: time.Hour}
-		_, badErr = f.ons.submitJob(sess.ID, &desc)
+		_, badErr = f.ons.submitJob(sess.ID, &desc, trace.SpanContext{})
 	}()
 	wg.Wait()
 	if goodErr != nil || goodID == "" {
@@ -326,7 +327,7 @@ func TestSubmitHubIsolatesPerEntryFailures(t *testing.T) {
 func TestSubmitHubDeliversSessionFaultUnwrapped(t *testing.T) {
 	f := newFixture(t, func(cfg *Config) { cfg.SubmitHub = true })
 	desc := jsdl.Description{Executable: "x.gsh", Site: "siteA"}
-	_, err := f.ons.submitJob("no-such-session", &desc)
+	_, err := f.ons.submitJob("no-such-session", &desc, trace.SpanContext{})
 	// Invoke's invalidate-and-retry path matches with errors.Is: the hub
 	// must not lose the sentinel on the way back to each submitter.
 	if !errors.Is(err, cyberaide.ErrNoSession) {

@@ -4,6 +4,7 @@ import (
 	"encoding/base64"
 
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/wsdl"
 )
 
@@ -53,7 +54,9 @@ func (o *OnServe) buildService(serviceName, description string, params []wsdl.Pa
 		return "", &soap.Fault{Code: soap.FaultClient, String: err.Error()}
 	}
 	svc.MustBind("execute", func(req *soap.Request) (string, error) {
-		inv, err := o.Invoke(serviceName, req.Args)
+		// Malformed headers degrade to a new root trace, never a fault.
+		tc, _ := trace.Parse(req.Trace)
+		inv, err := o.InvokeCtx(serviceName, req.Args, tc)
 		if err != nil {
 			return fault(err)
 		}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/jsdl"
 	"repro/internal/metrics"
 	"repro/internal/myproxy"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/xsec"
 )
@@ -61,6 +62,10 @@ type Session struct {
 }
 
 // Agent mediates between the access layer and the Grid.
+//
+// The session table lives behind a pointer so that WithTrace can return
+// a cheap shallow copy of the Agent: every copy shares the one table
+// (and its lock) while carrying its own trace context.
 type Agent struct {
 	endpoints Endpoints
 	clock     vtime.Clock
@@ -72,6 +77,12 @@ type Agent struct {
 	// myproxyDial lets experiments shape the MyProxy TCP connection.
 	myproxyDial func(network, addr string) (net.Conn, error)
 
+	state *sessionTable
+	trace trace.SpanContext
+}
+
+// sessionTable is the shared mutable state of all WithTrace copies.
+type sessionTable struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
 }
@@ -101,8 +112,45 @@ func New(opts Options) *Agent {
 		cost:        opts.Cost,
 		http:        opts.HTTP,
 		myproxyDial: opts.MyProxyDial,
-		sessions:    make(map[string]*Session),
+		state:       &sessionTable{sessions: make(map[string]*Session)},
 	}
+}
+
+// WithTrace returns an agent view whose Grid requests carry sc in the
+// X-Grid-Trace header, so the myproxy/gridftp/gram servers parent their
+// spans under the caller's span. The view shares the session table with
+// the receiver. An invalid context returns the receiver unchanged —
+// with tracing off this costs nothing.
+func (a *Agent) WithTrace(sc trace.SpanContext) *Agent {
+	if !sc.Valid() {
+		return a
+	}
+	b := *a
+	b.trace = sc
+	return &b
+}
+
+// gramFor returns the session's GRAM client, stamped with the agent's
+// trace context when one is set. The shallow copy keeps the shared
+// session client immutable under concurrent invocations.
+func (a *Agent) gramFor(sess *Session) *gram.Client {
+	if !a.trace.Valid() {
+		return sess.gram
+	}
+	c := *sess.gram
+	c.Trace = a.trace.String()
+	return &c
+}
+
+// ftpFor is gramFor for a site's GridFTP client.
+func (a *Agent) ftpFor(sess *Session, site string) (*gridftp.Client, bool) {
+	ftp, ok := sess.ftps[site]
+	if !ok || !a.trace.Valid() {
+		return ftp, ok
+	}
+	c := *ftp
+	c.Trace = a.trace.String()
+	return &c, true
 }
 
 // Authenticate performs a MyProxy logon, obtaining a freshly delegated
@@ -114,7 +162,7 @@ func (a *Agent) Authenticate(user, passphrase string, lifetime time.Duration) (*
 		lifetime = DefaultProxyLifetime
 	}
 	a.probe.Burn(a.cost.Auth)
-	mp := &myproxy.Client{Addr: a.endpoints.MyProxyAddr, Dial: a.myproxyDial}
+	mp := &myproxy.Client{Addr: a.endpoints.MyProxyAddr, Dial: a.myproxyDial, Trace: a.trace.String()}
 	proxy, err := mp.Get(user, passphrase, lifetime)
 	if err != nil {
 		return nil, fmt.Errorf("cyberaide: myproxy logon for %q: %w", user, err)
@@ -129,17 +177,17 @@ func (a *Agent) Authenticate(user, passphrase string, lifetime time.Duration) (*
 	for site, url := range a.endpoints.FTPURLs {
 		sess.ftps[site] = &gridftp.Client{BaseURL: url, Cred: proxy, HTTP: a.http}
 	}
-	a.mu.Lock()
-	a.sessions[sess.ID] = sess
-	a.mu.Unlock()
+	a.state.mu.Lock()
+	a.state.sessions[sess.ID] = sess
+	a.state.mu.Unlock()
 	return sess, nil
 }
 
 // Session resolves a session ID, rejecting expired proxies.
 func (a *Agent) Session(id string) (*Session, error) {
-	a.mu.Lock()
-	sess, ok := a.sessions[id]
-	a.mu.Unlock()
+	a.state.mu.Lock()
+	sess, ok := a.state.sessions[id]
+	a.state.mu.Unlock()
 	if !ok {
 		return nil, ErrNoSession
 	}
@@ -151,16 +199,16 @@ func (a *Agent) Session(id string) (*Session, error) {
 
 // Logout discards a session.
 func (a *Agent) Logout(id string) {
-	a.mu.Lock()
-	delete(a.sessions, id)
-	a.mu.Unlock()
+	a.state.mu.Lock()
+	delete(a.state.sessions, id)
+	a.state.mu.Unlock()
 }
 
 // SessionCount reports open sessions (monitoring).
 func (a *Agent) SessionCount() int {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return len(a.sessions)
+	a.state.mu.Lock()
+	defer a.state.mu.Unlock()
+	return len(a.state.sessions)
 }
 
 // SiteURL reports the GridFTP endpoint configured for site.
@@ -187,7 +235,7 @@ func (a *Agent) Upload(sessionID, site, name string, data []byte) (string, error
 	if err != nil {
 		return "", err
 	}
-	ftp, ok := sess.ftps[site]
+	ftp, ok := a.ftpFor(sess, site)
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownSite, site)
 	}
@@ -210,7 +258,7 @@ func (a *Agent) UploadChunked(sessionID, site, name string, data, gz []byte, chu
 	if err != nil {
 		return nil, err
 	}
-	ftp, ok := sess.ftps[site]
+	ftp, ok := a.ftpFor(sess, site)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownSite, site)
 	}
@@ -233,7 +281,7 @@ func (a *Agent) Replicate(sessionID, fromSite, toSite, name string) (string, err
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownSite, fromSite)
 	}
-	dst, ok := sess.ftps[toSite]
+	dst, ok := a.ftpFor(sess, toSite)
 	if !ok {
 		return "", fmt.Errorf("%w: %q", ErrUnknownSite, toSite)
 	}
@@ -254,7 +302,7 @@ func (a *Agent) Submit(sessionID string, desc *jsdl.Description) (string, error)
 	}
 	d := *desc
 	d.Owner = sess.Identity
-	jobID, err := sess.gram.Submit(&d)
+	jobID, err := a.gramFor(sess).Submit(&d)
 	if err != nil {
 		return "", fmt.Errorf("cyberaide: submit: %w", err)
 	}
@@ -266,6 +314,14 @@ func (a *Agent) Submit(sessionID string, desc *jsdl.Description) (string, error)
 // description's owner is forced to the session identity, like Submit;
 // per-description failures come back in each entry's Error field.
 func (a *Agent) SubmitBatch(sessionID string, descs []*jsdl.Description) ([]gram.SubmitBatchEntry, error) {
+	return a.SubmitBatchTraced(sessionID, descs, nil)
+}
+
+// SubmitBatchTraced is SubmitBatch with one trace-context wire string
+// per description (the submit hub queues each invocation's submit-span
+// context alongside its description). traces may be nil or shorter than
+// descs; empty entries mean "untraced".
+func (a *Agent) SubmitBatchTraced(sessionID string, descs []*jsdl.Description, traces []string) ([]gram.SubmitBatchEntry, error) {
 	sess, err := a.Session(sessionID)
 	if err != nil {
 		return nil, err
@@ -276,7 +332,7 @@ func (a *Agent) SubmitBatch(sessionID string, descs []*jsdl.Description) ([]gram
 		d.Owner = sess.Identity
 		owned[i] = &d
 	}
-	return sess.gram.SubmitBatch(owned)
+	return a.gramFor(sess).SubmitBatchTraced(owned, traces)
 }
 
 // Wait long-polls the gatekeeper until the job is terminal or timeout
@@ -286,7 +342,7 @@ func (a *Agent) Wait(sessionID, jobID string, timeout time.Duration) (*gram.Stat
 	if err != nil {
 		return nil, err
 	}
-	return sess.gram.Wait(jobID, timeout)
+	return a.gramFor(sess).Wait(jobID, timeout)
 }
 
 // Status polls a job.
@@ -295,7 +351,7 @@ func (a *Agent) Status(sessionID, jobID string) (*gram.StatusReply, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sess.gram.Status(jobID)
+	return a.gramFor(sess).Status(jobID)
 }
 
 // StatusBatch polls many jobs in one gatekeeper round-trip per
@@ -306,7 +362,7 @@ func (a *Agent) StatusBatch(sessionID string, jobIDs []string) ([]gram.BatchEntr
 	if err != nil {
 		return nil, err
 	}
-	return sess.gram.StatusBatch(jobIDs)
+	return a.gramFor(sess).StatusBatch(jobIDs)
 }
 
 // OutputIfChanged fetches the job's stdout only when its output version
@@ -316,7 +372,7 @@ func (a *Agent) OutputIfChanged(sessionID, jobID string, since uint64) (out stri
 	if err != nil {
 		return "", 0, false, err
 	}
-	return sess.gram.OutputIfChanged(jobID, since)
+	return a.gramFor(sess).OutputIfChanged(jobID, since)
 }
 
 // Output fetches the job's stdout snapshot (tentative polling target).
@@ -325,7 +381,7 @@ func (a *Agent) Output(sessionID, jobID string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	return sess.gram.Output(jobID)
+	return a.gramFor(sess).Output(jobID)
 }
 
 // OutputFile fetches a named output artifact.
@@ -334,7 +390,7 @@ func (a *Agent) OutputFile(sessionID, jobID, name string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sess.gram.OutputFile(jobID, name)
+	return a.gramFor(sess).OutputFile(jobID, name)
 }
 
 // Cancel stops a job.
@@ -343,7 +399,7 @@ func (a *Agent) Cancel(sessionID, jobID string) (*gram.StatusReply, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sess.gram.Cancel(jobID)
+	return a.gramFor(sess).Cancel(jobID)
 }
 
 // Usage fetches the session identity's per-site accounting.
@@ -352,7 +408,7 @@ func (a *Agent) Usage(sessionID string) ([]gridsim.SiteUsage, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sess.gram.Usage()
+	return a.gramFor(sess).Usage()
 }
 
 // GridStats fetches scheduler statistics from the gatekeeper.
@@ -361,7 +417,7 @@ func (a *Agent) GridStats(sessionID string) ([]gridsim.SiteStats, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sess.gram.Sites()
+	return a.gramFor(sess).Sites()
 }
 
 func newSessionID() string {

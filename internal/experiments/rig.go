@@ -23,6 +23,7 @@ import (
 	"repro/internal/gridsim"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -68,6 +69,10 @@ type Options struct {
 	WireCompression bool
 	// Cost overrides the appliance CPU cost model (nil = defaults).
 	Cost *metrics.Cost
+	// Tracing turns on the distributed tracer: one collector shared by
+	// the grid environment and the appliance, so each invocation yields
+	// a single cross-service span tree (read back via rig.trace).
+	Tracing bool
 }
 
 func (o *Options) fill() {
@@ -135,6 +140,8 @@ type rig struct {
 	// userHTTP reaches the appliance over the shaped LAN; gridHTTP is the
 	// appliance's own client toward the grid over the shaped WAN.
 	userHTTP *http.Client
+	// trace is the shared span collector; nil unless Options.Tracing.
+	trace *trace.Collector
 }
 
 // newRig boots the grid and appliance with the paper's link profiles.
@@ -145,11 +152,16 @@ func newRig(opts Options) (*rig, error) {
 	probe := metrics.NewProbe(rec)
 	wan := netsim.WAN(clk)
 	lan := netsim.LAN(clk)
+	var col *trace.Collector
+	if opts.Tracing {
+		col = trace.NewCollector(0, 0)
+	}
 
 	env, err := gridenv.Start(gridenv.Options{
 		Clock:   clk,
 		Sites:   opts.Sites,
 		Profile: wan, // grid servers answer the appliance across the WAN
+		Trace:   col,
 	})
 	if err != nil {
 		return nil, err
@@ -194,6 +206,7 @@ func newRig(opts Options) (*rig, error) {
 		ChunkedStaging:    opts.ChunkedStaging,
 		ChunkBytes:        opts.ChunkBytes,
 		WireCompression:   opts.WireCompression,
+		Trace:             col,
 	})
 	if err != nil {
 		env.Close()
@@ -212,7 +225,7 @@ func newRig(opts Options) (*rig, error) {
 	return &rig{
 		clock: clk, rec: rec, probe: probe,
 		env: env, app: app, wan: wan, lan: lan,
-		userHTTP: userHTTP,
+		userHTTP: userHTTP, trace: col,
 	}, nil
 }
 

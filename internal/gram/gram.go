@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/gridsim"
 	"repro/internal/jsdl"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/xsec"
 )
@@ -84,9 +85,13 @@ type SubmitReply struct {
 }
 
 // submitBatchRequest carries many job descriptions (each one jsdl XML
-// document) in one submit round-trip.
+// document) in one submit round-trip. Traces, when present, is parallel
+// to Jobs and carries each entry's X-Grid-Trace wire context; riding in
+// the signed body keeps batch entries exactly as tamper-proof as the
+// single-submit header (which is covered by the token over the body).
 type submitBatchRequest struct {
-	Jobs []string `json:"jobs"`
+	Jobs   []string `json:"jobs"`
+	Traces []string `json:"traces,omitempty"`
 }
 
 // SubmitBatchEntry is one description's answer inside a submit-batch
@@ -110,10 +115,17 @@ type errorReply struct {
 
 // Server is the gatekeeper for one grid.
 type Server struct {
-	grid  *gridsim.Grid
-	trust *xsec.TrustStore
-	clock vtime.Clock
+	grid   *gridsim.Grid
+	trust  *xsec.TrustStore
+	clock  vtime.Clock
+	tracer *trace.Tracer
 }
+
+// SetTracer enables distributed tracing of submissions: each traced
+// submit (single or batch entry) becomes a "gram.submit" span whose
+// context is threaded into the grid simulator's job lifecycle spans.
+// Call before serving; a nil tracer keeps tracing off.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
 
 // NewServer builds a gatekeeper.
 func NewServer(grid *gridsim.Grid, trust *xsec.TrustStore, clock vtime.Clock) *Server {
@@ -189,6 +201,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	// The trace header is decoded before authentication; a malformed
+	// header degrades to "untraced", never to a rejection.
+	tc, _ := trace.Parse(r.Header.Get(trace.Header))
 	body, err := io.ReadAll(io.LimitReader(r.Body, MaxBody+1))
 	if err != nil || len(body) > MaxBody {
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: "gram: bad body"})
@@ -210,12 +225,32 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	job, err := s.grid.Submit(*desc)
+	sp := s.startSubmitSpan(tc, false)
+	job, err := s.grid.SubmitTraced(*desc, sp.Context())
 	if err != nil {
+		sp.Error(err.Error())
+		sp.End()
 		writeJSON(w, http.StatusBadRequest, errorReply{Error: err.Error()})
 		return
 	}
+	sp.Set("site", job.Site)
+	sp.Set("job_id", job.ID)
+	sp.End()
 	writeJSON(w, http.StatusOK, SubmitReply{JobID: job.ID})
+}
+
+// startSubmitSpan opens a "gram.submit" span under the caller's context,
+// or returns nil (a no-op span) when tracing is off or no valid context
+// arrived.
+func (s *Server) startSubmitSpan(tc trace.SpanContext, batched bool) *trace.Span {
+	if s.tracer == nil || !tc.Valid() {
+		return nil
+	}
+	sp := s.tracer.StartSpan("gram.submit", tc)
+	if batched {
+		sp.Set("batched", "true")
+	}
+	return sp
 }
 
 // submitBatch submits many job descriptions in one round-trip (token
@@ -245,10 +280,14 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Parse and authorize each entry first; only the valid ones reach the
-	// grid, with idx mapping their compacted position back.
+	// grid, with idx mapping their compacted position back. Per-entry
+	// trace contexts (parallel to Jobs) get their own "gram.submit"
+	// spans; malformed or missing contexts leave their entry untraced.
 	entries := make([]SubmitBatchEntry, len(req.Jobs))
 	var descs []jsdl.Description
 	var idx []int
+	var spans []*trace.Span
+	var tcs []trace.SpanContext
 	for i, doc := range req.Jobs {
 		desc, err := jsdl.Unmarshal([]byte(doc))
 		if err != nil {
@@ -259,16 +298,28 @@ func (s *Server) submitBatch(w http.ResponseWriter, r *http.Request) {
 			entries[i].Error = fmt.Sprintf("%v: description owner %q, authenticated %q", ErrDenied, desc.Owner, id)
 			continue
 		}
+		var tc trace.SpanContext
+		if i < len(req.Traces) {
+			tc, _ = trace.Parse(req.Traces[i])
+		}
+		sp := s.startSubmitSpan(tc, true)
 		descs = append(descs, *desc)
 		idx = append(idx, i)
+		spans = append(spans, sp)
+		tcs = append(tcs, sp.Context())
 	}
-	jobs, errs := s.grid.SubmitMany(descs)
+	jobs, errs := s.grid.SubmitManyTraced(descs, tcs)
 	for k, i := range idx {
 		if errs[k] != nil {
 			entries[i].Error = errs[k].Error()
+			spans[k].Error(errs[k].Error())
+			spans[k].End()
 			continue
 		}
 		entries[i].JobID = jobs[k].ID
+		spans[k].Set("site", jobs[k].Site)
+		spans[k].Set("job_id", jobs[k].ID)
+		spans[k].End()
 	}
 	writeJSON(w, http.StatusOK, submitBatchReply{Entries: entries})
 }
@@ -422,6 +473,16 @@ type Client struct {
 	Cred *xsec.Credential
 	// HTTP defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Trace, when non-empty, rides every request as the X-Grid-Trace
+	// header so the gatekeeper parents its spans under the caller's.
+	Trace string
+}
+
+// setTrace stamps the propagation header on an outgoing request.
+func (c *Client) setTrace(req *http.Request) {
+	if c.Trace != "" {
+		req.Header.Set(trace.Header, c.Trace)
+	}
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -468,10 +529,18 @@ func (c *Client) Submit(desc *jsdl.Description) (string, error) {
 // reported in each entry's Error field, so one bad description never
 // fails the rest.
 func (c *Client) SubmitBatch(descs []*jsdl.Description) ([]SubmitBatchEntry, error) {
+	return c.SubmitBatchTraced(descs, nil)
+}
+
+// SubmitBatchTraced is SubmitBatch with one trace-context wire string
+// per description (parallel to descs, shorter or nil allowed); each
+// non-empty entry parents that job's gatekeeper span.
+func (c *Client) SubmitBatchTraced(descs []*jsdl.Description, traces []string) ([]SubmitBatchEntry, error) {
 	entries := make([]SubmitBatchEntry, len(descs))
 	// Marshal everything first; failures stay local to their entry and
 	// idx maps each shippable document back to its description.
-	var docs []string
+	var docs, tcs []string
+	anyTrace := false
 	var idx []int
 	for i, desc := range descs {
 		body, err := jsdl.Marshal(desc)
@@ -480,11 +549,21 @@ func (c *Client) SubmitBatch(descs []*jsdl.Description) ([]SubmitBatchEntry, err
 			continue
 		}
 		docs = append(docs, string(body))
+		t := ""
+		if i < len(traces) {
+			t = traces[i]
+		}
+		anyTrace = anyTrace || t != ""
+		tcs = append(tcs, t)
 		idx = append(idx, i)
 	}
 	for start := 0; start < len(docs); start += MaxBatch {
 		end := min(start+MaxBatch, len(docs))
-		body, err := json.Marshal(submitBatchRequest{Jobs: docs[start:end]})
+		breq := submitBatchRequest{Jobs: docs[start:end]}
+		if anyTrace {
+			breq.Traces = tcs[start:end]
+		}
+		body, err := json.Marshal(breq)
 		if err != nil {
 			return nil, err
 		}
@@ -753,10 +832,12 @@ func (c *Client) jobRequest(path, jobID string, extra map[string]string) (*http.
 		return nil, err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	return req, nil
 }
 
 func (c *Client) do(req *http.Request, out any) error {
+	c.setTrace(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("gram: %s: %w", req.URL.Path, err)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/gridsim"
 	"repro/internal/myproxy"
 	"repro/internal/netsim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/xsec"
 )
@@ -33,6 +34,12 @@ type Options struct {
 	Profile *netsim.Profile
 	// CAValidity defaults to ten years.
 	CAValidity time.Duration
+	// Trace, when non-nil, turns on distributed tracing: every grid
+	// service (GRAM, per-site GridFTP, MyProxy, the simulator's job
+	// lifecycle) records spans into this shared collector. Hand the same
+	// collector to the appliance so one invocation assembles into a
+	// single cross-service tree.
+	Trace *trace.Collector
 }
 
 // Env is a running grid environment. Close shuts every listener down.
@@ -110,7 +117,14 @@ func Start(opts Options) (*Env, error) {
 	}
 
 	// Gatekeeper.
-	if env.GramURL, err = serveHTTP(gram.NewServer(grid, trust, clock)); err != nil {
+	if opts.Trace != nil {
+		grid.SetTracer(trace.NewTracer("gridsim", clock, opts.Trace))
+	}
+	gk := gram.NewServer(grid, trust, clock)
+	if opts.Trace != nil {
+		gk.SetTracer(trace.NewTracer("gram", clock, opts.Trace))
+	}
+	if env.GramURL, err = serveHTTP(gk); err != nil {
 		return nil, err
 	}
 	// One GridFTP server per site. Third-party transfers (one server
@@ -128,7 +142,11 @@ func Start(opts Options) (*Env, error) {
 			env.Close()
 			return nil, err
 		}
-		url, err := serveHTTP(gridftp.NewServer(site.Store(), trust, clock, fetchClient))
+		ftp := gridftp.NewServer(site.Store(), trust, clock, fetchClient)
+		if opts.Trace != nil {
+			ftp.SetTracer(trace.NewTracer("gridftp", clock, opts.Trace), name)
+		}
+		url, err := serveHTTP(ftp)
 		if err != nil {
 			return nil, err
 		}
@@ -140,6 +158,9 @@ func Start(opts Options) (*Env, error) {
 		return nil, err
 	}
 	env.myproxySrv = myproxy.NewServer(clock)
+	if opts.Trace != nil {
+		env.myproxySrv.SetTracer(trace.NewTracer("myproxy", clock, opts.Trace))
+	}
 	go env.myproxySrv.Serve(mpLn)
 	env.MyProxyAddr = mpLn.Addr().String()
 	return env, nil

@@ -59,6 +59,7 @@ func (c *Client) HaveChunks(digests []string) ([]string, error) {
 		return nil, err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -86,6 +87,7 @@ func (c *Client) PutChunk(digest string, chunk []byte) error {
 		return err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -119,6 +121,7 @@ func (c *Client) Commit(name, encoding, fileSha256 string, chunks []string) (str
 		return "", err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	req.Header.Set("Content-Type", "application/json")
 	if encoding != "" {
 		req.Header.Set(EncodingHeader, encoding)

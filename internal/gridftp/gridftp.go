@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/gridsim"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/xsec"
 )
@@ -61,6 +62,18 @@ type Server struct {
 	// chunks is the content-addressed store behind the chunked-transfer
 	// endpoints (see chunks.go).
 	chunks *chunkStore
+	// tracer/site enable per-request spans (nil tracer = off).
+	tracer *trace.Tracer
+	site   string
+}
+
+// SetTracer enables request tracing: every request arriving with a valid
+// X-Grid-Trace context records one span named after its route (ftp.put,
+// ftp.get, ftp.chunk.put, ...) tagged with the given site name and byte
+// counts. Call before serving; a nil tracer keeps tracing off.
+func (s *Server) SetTracer(t *trace.Tracer, site string) {
+	s.tracer = t
+	s.site = site
 }
 
 // NewServer builds a staging server for store. httpClient carries the
@@ -112,6 +125,82 @@ func (s *Server) authenticate(r *http.Request, msg []byte) (string, error) {
 
 // ServeHTTP handles /ftp/<name> plus /ftp-list and /ftp-fetch.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		s.serve(w, r)
+		return
+	}
+	// The trace header is decoded before authentication; malformed or
+	// absent headers degrade to "untraced", never to a rejection, and
+	// requests without a valid caller context record no span (the server
+	// does not mint orphan roots for untraced traffic).
+	tc, ok := trace.Parse(r.Header.Get(trace.Header))
+	if !ok {
+		s.serve(w, r)
+		return
+	}
+	sp := s.tracer.StartSpan(opName(r), tc)
+	sp.Set("site", s.site)
+	// Swap in this span's own context so outbound legs of the request —
+	// the source-side GET of a third-party fetch — parent under it.
+	r.Header.Set(trace.Header, sp.Context().String())
+	cw := &countingWriter{ResponseWriter: w}
+	s.serve(cw, r)
+	if r.ContentLength > 0 {
+		sp.SetInt("bytes_in", r.ContentLength)
+	}
+	sp.SetInt("bytes_out", cw.bytes)
+	if cw.status >= 400 {
+		sp.Error(fmt.Sprintf("http %d", cw.status))
+	}
+	sp.End()
+}
+
+// opName maps a request to its span name.
+func opName(r *http.Request) string {
+	switch {
+	case r.URL.Path == "/ftp-list":
+		return "ftp.list"
+	case r.URL.Path == "/ftp-fetch":
+		return "ftp.fetch"
+	case r.URL.Path == "/ftp/chunks/have":
+		return "ftp.chunks.have"
+	case strings.HasPrefix(r.URL.Path, "/ftp/chunk/"):
+		return "ftp.chunk.put"
+	case r.URL.Path == "/ftp/commit":
+		return "ftp.commit"
+	case r.Method == http.MethodPut:
+		return "ftp.put"
+	case r.Method == http.MethodDelete:
+		return "ftp.delete"
+	default:
+		return "ftp.get"
+	}
+}
+
+// countingWriter captures the status code and payload size for the span.
+type countingWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *countingWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path == "/ftp-list" && r.Method == http.MethodGet {
 		s.list(w, r)
 		return
@@ -255,6 +344,9 @@ func (s *Server) fetch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	getReq.Header.Set(TokenHeader, req.SourceToken)
+	if tc := r.Header.Get(trace.Header); tc != "" {
+		getReq.Header.Set(trace.Header, tc)
+	}
 	resp, err := s.httpClient().Do(getReq)
 	if err != nil {
 		httpError(w, http.StatusBadGateway, "gridftp: fetch from source: "+err.Error())
@@ -314,6 +406,9 @@ type Client struct {
 	Cred *xsec.Credential
 	// HTTP defaults to http.DefaultClient.
 	HTTP *http.Client
+	// Trace, when non-empty, rides every request as the X-Grid-Trace
+	// header so the server parents its spans under the caller's.
+	Trace string
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -321,6 +416,13 @@ func (c *Client) httpClient() *http.Client {
 		return http.DefaultClient
 	}
 	return c.HTTP
+}
+
+// setTrace stamps the propagation header on an outgoing request.
+func (c *Client) setTrace(req *http.Request) {
+	if c.Trace != "" {
+		req.Header.Set(trace.Header, c.Trace)
+	}
 }
 
 func (c *Client) sign(method, name, checksum string) (string, error) {
@@ -344,6 +446,7 @@ func (c *Client) Put(name string, data []byte) (string, error) {
 		return "", err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	req.Header.Set(ChecksumHeader, checksum)
 	req.Header.Set("Content-Type", "application/octet-stream")
 	resp, err := c.httpClient().Do(req)
@@ -371,6 +474,7 @@ func (c *Client) Get(name string) ([]byte, error) {
 		return nil, err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("gridftp: get %s: %w", name, err)
@@ -401,6 +505,7 @@ func (c *Client) Delete(name string) error {
 		return err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return fmt.Errorf("gridftp: delete %s: %w", name, err)
@@ -439,6 +544,7 @@ func (c *Client) FetchFrom(sourceURL, name string) (string, error) {
 		return "", err
 	}
 	req.Header.Set(TokenHeader, fetchToken)
+	c.setTrace(req)
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
@@ -462,6 +568,7 @@ func (c *Client) List() ([]string, error) {
 		return nil, err
 	}
 	req.Header.Set(TokenHeader, tok)
+	c.setTrace(req)
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("gridftp: list: %w", err)

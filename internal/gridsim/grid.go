@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/jsdl"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -58,6 +59,16 @@ func New(clock vtime.Clock, configs ...SiteConfig) (*Grid, error) {
 // Clock returns the grid's clock.
 func (g *Grid) Clock() vtime.Clock { return g.clock }
 
+// SetTracer enables job-lifecycle tracing at every site: traced
+// submissions record "job.queue" and "job.run" spans at the exact
+// scheduler timestamps. Call before submitting; a nil tracer keeps
+// tracing off.
+func (g *Grid) SetTracer(t *trace.Tracer) {
+	for _, s := range g.sites {
+		s.SetTracer(t)
+	}
+}
+
 // Site returns the named site.
 func (g *Grid) Site(name string) (*Site, error) {
 	s, ok := g.sites[name]
@@ -98,13 +109,19 @@ func (g *Grid) PickSite(cpus int) (*Site, error) {
 // set, otherwise the least-loaded site that has the executable staged is
 // chosen.
 func (g *Grid) Submit(desc jsdl.Description) (*Job, error) {
+	return g.SubmitTraced(desc, trace.SpanContext{})
+}
+
+// SubmitTraced is Submit with a trace context: when valid (and a tracer
+// is set), the job's queue and run phases become spans under it.
+func (g *Grid) SubmitTraced(desc jsdl.Description, tc trace.SpanContext) (*Job, error) {
 	desc.Normalize()
 	if desc.Site != "" {
 		site, err := g.Site(desc.Site)
 		if err != nil {
 			return nil, err
 		}
-		return site.Submit(desc)
+		return site.SubmitTraced(desc, tc)
 	}
 	// Prefer sites where the executable is already staged.
 	var candidates []*Site
@@ -124,7 +141,7 @@ func (g *Grid) Submit(desc jsdl.Description) (*Job, error) {
 			best, bestLoad = s, load
 		}
 	}
-	return best.Submit(desc)
+	return best.SubmitTraced(desc, tc)
 }
 
 // Job resolves a job ID ("site:job-n") anywhere in the grid.
@@ -158,10 +175,20 @@ func (g *Grid) Jobs(ids []string) (jobs []*Job, errs []error) {
 // nil. A rejected description never fails the batch — callers (the
 // gatekeeper's submit-batch endpoint) report per-entry errors instead.
 func (g *Grid) SubmitMany(descs []jsdl.Description) (jobs []*Job, errs []error) {
+	return g.SubmitManyTraced(descs, nil)
+}
+
+// SubmitManyTraced is SubmitMany with one trace context per description
+// (parallel to descs; shorter or nil allowed).
+func (g *Grid) SubmitManyTraced(descs []jsdl.Description, tcs []trace.SpanContext) (jobs []*Job, errs []error) {
 	jobs = make([]*Job, len(descs))
 	errs = make([]error, len(descs))
 	for i, desc := range descs {
-		jobs[i], errs[i] = g.Submit(desc)
+		var tc trace.SpanContext
+		if i < len(tcs) {
+			tc = tcs[i]
+		}
+		jobs[i], errs[i] = g.SubmitTraced(desc, tc)
 	}
 	return jobs, errs
 }

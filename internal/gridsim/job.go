@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/jsdl"
+	"repro/internal/trace"
 )
 
 // State is a job's lifecycle state.
@@ -68,6 +69,14 @@ type Job struct {
 	started   time.Time
 	ended     time.Time
 
+	// Tracing (nil when the submission was untraced): queueSpan covers
+	// Queued->Running, runSpan covers Running->terminal, both children of
+	// the submitter's context at exact scheduler timestamps.
+	tracer    *trace.Tracer
+	traceCtx  trace.SpanContext
+	queueSpan *trace.Span
+	runSpan   *trace.Span
+
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
 	// cancel closes to stop the interpreter (cancellation, walltime).
@@ -90,6 +99,17 @@ func newJob(id string, desc jsdl.Description, site string, now time.Time, outQuo
 		done:      make(chan struct{}),
 		cancel:    make(chan struct{}),
 	}
+}
+
+// initTrace opens the queue-phase span. Called once, before the job is
+// visible to the scheduler.
+func (j *Job) initTrace(t *trace.Tracer, tc trace.SpanContext, now time.Time) {
+	j.tracer = t
+	j.traceCtx = tc
+	j.queueSpan = t.StartSpanAt("job.queue", tc, now)
+	j.queueSpan.Set("job_id", j.ID)
+	j.queueSpan.Set("site", j.Site)
+	j.queueSpan.SetInt("cpus", int64(j.Desc.CPUs))
 }
 
 // State returns the current state.
@@ -208,6 +228,12 @@ func (j *Job) markRunning(now time.Time) bool {
 	}
 	j.state = Running
 	j.started = now
+	j.queueSpan.EndAt(now)
+	if j.tracer != nil {
+		j.runSpan = j.tracer.StartSpanAt("job.run", j.traceCtx, now)
+		j.runSpan.Set("job_id", j.ID)
+		j.runSpan.Set("site", j.Site)
+	}
 	return true
 }
 
@@ -218,9 +244,21 @@ func (j *Job) finish(st State, msg string, now time.Time) bool {
 	if j.state.Terminal() {
 		return false
 	}
+	wasQueued := j.state == Queued
 	j.state = st
 	j.exitMsg = msg
 	j.ended = now
+	// Close whichever lifecycle span is still open; non-success ends it
+	// with error status so cancelled/killed jobs never leak an "ok" tree.
+	sp := j.runSpan
+	if wasQueued {
+		sp = j.queueSpan
+	}
+	if st != Succeeded {
+		sp.Error(msg)
+	}
+	sp.Set("state", st.String())
+	sp.EndAt(now)
 	close(j.done)
 	return true
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/gsh"
 	"repro/internal/jsdl"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
@@ -88,9 +89,10 @@ type SiteStats struct {
 // Site models one centre: a slot pool, an FCFS queue with aggressive
 // backfill, a staging store, and a gsh execution engine.
 type Site struct {
-	cfg   SiteConfig
-	clock vtime.Clock
-	store *Store
+	cfg    SiteConfig
+	clock  vtime.Clock
+	store  *Store
+	tracer *trace.Tracer
 
 	mu        sync.Mutex
 	freeSlots int
@@ -151,12 +153,23 @@ func (s *Site) Name() string { return s.cfg.Name }
 // Store returns the site's staging area.
 func (s *Site) Store() *Store { return s.store }
 
+// SetTracer enables job-lifecycle spans for traced submissions. Call
+// before submitting; a nil tracer keeps tracing off.
+func (s *Site) SetTracer(t *trace.Tracer) { s.tracer = t }
+
 // Slots returns total capacity.
 func (s *Site) Slots() int { return s.cfg.slots() }
 
 // Submit validates and enqueues a job. The executable must already be
 // staged for the owner (the JSE contract: stage first, then submit).
 func (s *Site) Submit(desc jsdl.Description) (*Job, error) {
+	return s.SubmitTraced(desc, trace.SpanContext{})
+}
+
+// SubmitTraced is Submit with a trace context; when valid (and the site
+// has a tracer), the job records "job.queue" and "job.run" spans under
+// it at exact scheduler timestamps.
+func (s *Site) SubmitTraced(desc jsdl.Description, tc trace.SpanContext) (*Job, error) {
 	desc.Normalize()
 	if err := desc.Validate(); err != nil {
 		return nil, err
@@ -179,7 +192,13 @@ func (s *Site) Submit(desc jsdl.Description) (*Job, error) {
 	}
 	s.seq++
 	id := fmt.Sprintf("%s:job-%06d", s.cfg.Name, s.seq)
-	job := newJob(id, desc, s.cfg.Name, s.clock.Now(), s.cfg.MaxJobOutput)
+	now := s.clock.Now()
+	job := newJob(id, desc, s.cfg.Name, now, s.cfg.MaxJobOutput)
+	if s.tracer != nil && tc.Valid() {
+		// Before enqueue: dispatchLocked may start the job immediately and
+		// markRunning must see the queue span.
+		job.initTrace(s.tracer, tc, now)
+	}
 	s.jobs[id] = job
 	s.queue = append(s.queue, job)
 	s.dispatchLocked()

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/xsec"
 )
@@ -57,13 +58,16 @@ const (
 	OpDestroy Op = "destroy" // remove the stored credential
 )
 
-// request is the single wire message a client sends.
+// request is the single wire message a client sends. Trace carries the
+// caller's X-Grid-Trace context (the TCP protocol has no headers, so the
+// wire string rides in the message itself).
 type request struct {
 	Op         Op              `json:"op"`
 	User       string          `json:"user"`
 	Passphrase string          `json:"passphrase"`
 	Credential json.RawMessage `json:"credential,omitempty"`
 	LifetimeS  int64           `json:"lifetime_s,omitempty"`
+	Trace      string          `json:"trace,omitempty"`
 }
 
 // response is the single wire message the server answers with.
@@ -92,7 +96,8 @@ type stored struct {
 // Server is the repository. Serve accepts connections from any
 // net.Listener (including a netsim-shaped one).
 type Server struct {
-	clock vtime.Clock
+	clock  vtime.Clock
+	tracer *trace.Tracer
 
 	mu    sync.Mutex
 	creds map[string]*stored
@@ -139,6 +144,11 @@ func (s *Server) Close() error {
 	return ln.Close()
 }
 
+// SetTracer enables request tracing: traced requests record one
+// "myproxy.<op>" span. Call before Serve; a nil tracer keeps tracing
+// off.
+func (s *Server) SetTracer(t *trace.Tracer) { s.tracer = t }
+
 // Count reports how many credentials are stored (monitoring/tests).
 func (s *Server) Count() int {
 	s.mu.Lock()
@@ -158,6 +168,24 @@ func (s *Server) handle(c net.Conn) {
 }
 
 func (s *Server) dispatch(req *request) response {
+	// The trace context is decoded before the passphrase check; malformed
+	// contexts degrade to "untraced", never to a rejection.
+	var sp *trace.Span
+	if s.tracer != nil {
+		if tc, ok := trace.Parse(req.Trace); ok {
+			sp = s.tracer.StartSpan("myproxy."+string(req.Op), tc)
+			sp.Set("user", req.User)
+		}
+	}
+	resp := s.dispatchOp(req)
+	if resp.Error != "" {
+		sp.Error(resp.Error)
+	}
+	sp.End()
+	return resp
+}
+
+func (s *Server) dispatchOp(req *request) response {
 	switch req.Op {
 	case OpPut:
 		return s.put(req)
@@ -269,6 +297,9 @@ func hashPass(salt [16]byte, pass string) [32]byte {
 type Client struct {
 	Addr string
 	Dial func(network, addr string) (net.Conn, error)
+	// Trace, when non-empty, rides every request so the server parents
+	// its spans under the caller's.
+	Trace string
 }
 
 func (c *Client) dial() (net.Conn, error) {
@@ -280,6 +311,7 @@ func (c *Client) dial() (net.Conn, error) {
 }
 
 func (c *Client) roundTrip(req request) (*response, error) {
+	req.Trace = c.Trace
 	conn, err := c.dial()
 	if err != nil {
 		return nil, fmt.Errorf("myproxy: dial %s: %w", c.Addr, err)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/wsclient"
 	"repro/internal/wsdl"
@@ -44,7 +45,10 @@ func New(ons *core.OnServe, registry *uddi.Registry, probe *metrics.Probe, cost 
 	mux.HandleFunc("/", p.home)
 	mux.HandleFunc("/upload", p.upload)
 	mux.HandleFunc("/registry", p.registryPage)
+	mux.HandleFunc("/trace", p.tracePage)
 	mux.HandleFunc("/api/stats", p.apiStats)
+	mux.HandleFunc("/api/trace", p.apiTrace)
+	mux.HandleFunc("/api/trace/", p.apiTrace)
 	mux.HandleFunc("/api/services", p.apiServices)
 	mux.HandleFunc("/api/service", p.apiService)
 	mux.HandleFunc("/api/client", p.apiClient)
@@ -155,7 +159,10 @@ func (p *Portal) upload(w http.ResponseWriter, r *http.Request) {
 		params = append(params, wsdl.ParamDef{Name: name, Type: typ})
 	}
 
-	rec, err := p.onserve.UploadAndGenerate(user, hdr.Filename, description, params, content)
+	// Malformed trace headers degrade to a fresh root trace, never a
+	// rejected upload (parse-before-auth).
+	tc, _ := trace.Parse(r.Header.Get(trace.Header))
+	rec, err := p.onserve.UploadAndGenerateCtx(user, hdr.Filename, description, params, content, tc)
 	if err != nil {
 		jsonError(w, statusFor(err), err)
 		return
@@ -207,6 +214,92 @@ func (p *Portal) registryPage(w http.ResponseWriter, r *http.Request) {
 	registryTmpl.Execute(w, recs)
 }
 
+var traceTmpl = template.Must(template.New("trace").Parse(`<!DOCTYPE html>
+<html><head><title>Trace {{.Ticket}}</title><style>
+body { font-family: monospace; }
+.row { position: relative; height: 1.4em; }
+.bar { position: absolute; background: #8ac; height: 1.1em; min-width: 2px; }
+.bar.error { background: #c66; }
+.label { position: absolute; left: 0; white-space: nowrap; }
+.lane { position: relative; margin-left: 28em; border-left: 1px solid #ccc; }
+</style></head>
+<body>
+<h1>Trace {{.Ticket}}</h1>
+<p>{{len .Spans}} span(s), {{printf "%.1f" .TotalMS}} ms total. Lookup: <form action="/trace" style="display:inline"><input name="ticket" value="{{.Ticket}}"><input type="submit" value="view"></form></p>
+{{range .Spans}}<div class="row">
+  <span class="label">{{.Indent}}{{.Service}}/{{.Name}} {{printf "%.1f" .DurationMS}}ms{{if .Detail}} [{{.Detail}}]{{end}}</span>
+  <div class="lane"><div class="bar{{if .Error}} error{{end}}" style="left: {{printf "%.2f" .LeftPct}}%; width: {{printf "%.2f" .WidthPct}}%"></div></div>
+</div>
+{{end}}
+</body></html>
+`))
+
+// tracePage renders the invocation's span tree as an HTML waterfall:
+// one row per span, indented by tree depth, with a bar positioned on
+// the trace's own timeline.
+func (p *Portal) tracePage(w http.ResponseWriter, r *http.Request) {
+	ticket := r.URL.Query().Get("ticket")
+	spans, err := p.onserve.InvocationTrace(ticket)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	type row struct {
+		trace.SpanData
+		Indent   string
+		Detail   string
+		Error    bool
+		LeftPct  float64
+		WidthPct float64
+	}
+	view := struct {
+		Ticket  string
+		TotalMS float64
+		Spans   []row
+	}{Ticket: ticket}
+	if len(spans) > 0 {
+		t0 := spans[0].Start
+		t1 := spans[0].End
+		for _, sd := range spans {
+			if sd.Start.Before(t0) {
+				t0 = sd.Start
+			}
+			if sd.End.After(t1) {
+				t1 = sd.End
+			}
+		}
+		total := t1.Sub(t0)
+		view.TotalMS = float64(total) / 1e6
+		depths := make(map[string]int, len(spans))
+		for _, sd := range spans { // spans are start-sorted, parents first
+			d := 0
+			if sd.ParentID != "" {
+				d = depths[sd.ParentID] + 1
+			}
+			depths[sd.SpanID] = d
+			var details []string
+			for _, k := range []string{"site", "bytes", "state", "cache"} {
+				if v, ok := sd.Attrs[k]; ok {
+					details = append(details, k+"="+v)
+				}
+			}
+			rw := row{
+				SpanData: sd,
+				Indent:   strings.Repeat("· ", d),
+				Detail:   strings.Join(details, " "),
+				Error:    sd.Status == "error",
+			}
+			if total > 0 {
+				rw.LeftPct = float64(sd.Start.Sub(t0)) / float64(total) * 100
+				rw.WidthPct = float64(sd.End.Sub(sd.Start)) / float64(total) * 100
+			}
+			view.Spans = append(view.Spans, rw)
+		}
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	traceTmpl.Execute(w, view)
+}
+
 // apiClient serves a ready-to-edit Go client stub for a generated
 // service — the paper's suggested improvement over making every consumer
 // run wsimport themselves.
@@ -243,9 +336,60 @@ func (p *Portal) apiOutputFile(w http.ResponseWriter, r *http.Request) {
 	w.Write(data)
 }
 
+// statsPayload is the /api/stats document: the monitoring tallies the
+// seed portal served (inlined, so existing consumers keep decoding it
+// into core.Monitoring), extended with the poll-hub, submit-hub, and
+// staging counters of PRs 2-4 and — when tracing is on — the trace
+// ring's occupancy.
+type statsPayload struct {
+	core.Monitoring
+	// Collector is the poll-side counters: status RPCs, output fetches
+	// and bytes, not-modified skips, poll disk writes.
+	Collector core.CollectorStats `json:"collector"`
+	// Submit is the submission front-end: submit RPCs, batched submits,
+	// upload counts/retries, coalesced stagings.
+	Submit core.SubmitStats `json:"submit"`
+	// Stage is the chunked-staging data plane: chunks shipped/deduped,
+	// wire vs payload bytes, fallbacks, replications.
+	Stage core.StageStats `json:"stage"`
+	// Trace is the span ring's occupancy (spans, bytes, evictions);
+	// omitted while tracing is off.
+	Trace *trace.CollectorStats `json:"trace,omitempty"`
+}
+
 // apiStats serves the monitoring snapshot.
 func (p *Portal) apiStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, p.onserve.Monitoring())
+	payload := statsPayload{
+		Monitoring: p.onserve.Monitoring(),
+		Collector:  p.onserve.CollectorStats(),
+		Submit:     p.onserve.SubmitStats(),
+		Stage:      p.onserve.StageStats(),
+	}
+	if col := p.onserve.Tracer().Collector(); col != nil {
+		st := col.Stats()
+		payload.Trace = &st
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+// apiTrace exports one invocation's span tree as JSON. The ticket
+// rides either in the path (/api/trace/<ticket>) or, for clients that
+// prefer the query form the other ticket endpoints use, ?ticket=.
+func (p *Portal) apiTrace(w http.ResponseWriter, r *http.Request) {
+	ticket := strings.TrimPrefix(r.URL.Path, "/api/trace")
+	ticket = strings.TrimPrefix(ticket, "/")
+	if ticket == "" {
+		ticket = r.URL.Query().Get("ticket")
+	}
+	spans, err := p.onserve.InvocationTrace(ticket)
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return
+	}
+	if spans == nil {
+		spans = []trace.SpanData{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ticket": ticket, "spans": spans})
 }
 
 func (p *Portal) apiServices(w http.ResponseWriter, r *http.Request) {
@@ -280,7 +424,8 @@ func (p *Portal) apiInvoke(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, err)
 		return
 	}
-	inv, err := p.onserve.Invoke(req.Service, req.Args)
+	tc, _ := trace.Parse(r.Header.Get(trace.Header))
+	inv, err := p.onserve.InvokeCtx(req.Service, req.Args, tc)
 	if err != nil {
 		jsonError(w, statusFor(err), err)
 		return

@@ -18,6 +18,7 @@ import (
 	"repro/internal/gridsim"
 	"repro/internal/metrics"
 	"repro/internal/soap"
+	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
 	"repro/internal/wsdl"
@@ -35,11 +36,18 @@ type fixture struct {
 // appliance tests, the SOAP container is mounted on the same mux so the
 // generated endpoints in WSDL documents resolve.
 func newFixture(t *testing.T) *fixture {
+	return newTracedFixture(t, nil)
+}
+
+// newTracedFixture is newFixture with an optional shared span collector
+// wired through the grid environment and the core.
+func newTracedFixture(t *testing.T, col *trace.Collector) *fixture {
 	t.Helper()
 	clk := vtime.NewScaled(20000)
 	env, err := gridenv.Start(gridenv.Options{
 		Clock: clk,
 		Sites: []gridsim.SiteConfig{{Name: "siteA", Nodes: 2, CoresPerNode: 4}},
+		Trace: col,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -61,10 +69,14 @@ func newFixture(t *testing.T) *fixture {
 	hs := httptest.NewServer(mux)
 	t.Cleanup(hs.Close)
 
-	ons, err := core.New(core.Config{
+	coreCfg := core.Config{
 		DB: db, Container: container, Registry: registry, Agent: agent,
 		BaseURL: hs.URL, Clock: clk, PollInterval: 2 * time.Second,
-	})
+	}
+	if col != nil {
+		coreCfg.Tracing = trace.NewTracer("onserve", clk, col)
+	}
+	ons, err := core.New(coreCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,5 +515,186 @@ func TestServiceDescribeAPI(t *testing.T) {
 	resp.Body.Close()
 	if info.ServiceName != "DescService" || info.Owner != "alice" {
 		t.Fatalf("info %+v", info)
+	}
+}
+
+// TestStatsSurfacesSubsystemCounters pins the /api/stats extension: the
+// monitoring tallies stay inline (TestMonitoringStats still decodes the
+// document into core.Monitoring), and the poll-hub, submit-hub, staging,
+// and trace-ring counters ride alongside.
+func TestStatsSurfacesSubsystemCounters(t *testing.T) {
+	f := newTracedFixture(t, trace.NewCollector(0, 0))
+	f.upload(t, "stats.gsh", "echo ${x}\n")
+	inv, err := f.onserve.Invoke("StatsService", map[string]string{"x": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inv.DoneChan()
+	resp, err := http.Get(f.url + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	for _, key := range []string{"invocations", "services", "collector", "submit", "stage", "trace"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("/api/stats missing %q: have %v", key, keys(doc))
+		}
+	}
+	var tr trace.CollectorStats
+	if err := json.Unmarshal(doc["trace"], &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Spans == 0 {
+		t.Fatalf("trace ring empty after a traced invocation: %+v", tr)
+	}
+}
+
+func keys(m map[string]json.RawMessage) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// TestTraceExportAndWaterfall drives one invocation and reads its trace
+// back through both the JSON export (path and query forms) and the HTML
+// waterfall page.
+func TestTraceExportAndWaterfall(t *testing.T) {
+	f := newTracedFixture(t, trace.NewCollector(0, 0))
+	f.upload(t, "traced.gsh", "echo ${x}\n")
+	inv, err := f.onserve.Invoke("TracedService", map[string]string{"x": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inv.DoneChan()
+
+	for _, url := range []string{
+		f.url + "/api/trace/" + inv.Ticket,
+		f.url + "/api/trace?ticket=" + inv.Ticket,
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			Ticket string           `json:"ticket"`
+			Spans  []trace.SpanData `json:"spans"`
+		}
+		json.NewDecoder(resp.Body).Decode(&doc)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", url, resp.StatusCode)
+		}
+		if doc.Ticket != inv.Ticket || len(doc.Spans) == 0 {
+			t.Fatalf("%s: ticket %q, %d spans", url, doc.Ticket, len(doc.Spans))
+		}
+		if doc.Spans[0].Name != "invoke" {
+			t.Fatalf("first span %q, want the invoke root", doc.Spans[0].Name)
+		}
+	}
+
+	resp, err := http.Get(f.url + "/trace?ticket=" + inv.Ticket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("waterfall status %d: %s", resp.StatusCode, body)
+	}
+	page := string(body)
+	for _, want := range []string{"onserve/invoke", "gram/gram.submit", "class=\"bar\""} {
+		if !strings.Contains(page, want) {
+			t.Errorf("waterfall missing %q", want)
+		}
+	}
+
+	// Unknown tickets 404; unknown tickets on the page too.
+	resp, err = http.Get(f.url + "/api/trace/no-such-ticket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ticket status %d", resp.StatusCode)
+	}
+}
+
+// TestUploadAndInvokeJoinCallerTrace pins header propagation at the
+// portal boundary: a caller-supplied X-Grid-Trace parents the upload and
+// invocation trees, and a malformed header degrades to a fresh root
+// trace instead of rejecting the request.
+func TestUploadAndInvokeJoinCallerTrace(t *testing.T) {
+	col := trace.NewCollector(0, 0)
+	f := newTracedFixture(t, col)
+	f.upload(t, "joined.gsh", "echo ${x}\n")
+
+	caller := trace.NewTracer("cli", f.clock, col)
+	root := caller.StartRoot("cli.invoke")
+	payload, _ := json.Marshal(map[string]any{
+		"service": "JoinedService", "args": map[string]string{"x": "2"},
+	})
+	req, _ := http.NewRequest("POST", f.url+"/api/invoke", bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.Header, root.Context().String())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("invoke status %d", resp.StatusCode)
+	}
+	inv, err := f.onserve.Invocation(out["ticket"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inv.DoneChan()
+	root.End()
+
+	spans := col.Trace(root.Context().String()[:32])
+	var invokeRoot *trace.SpanData
+	for i := range spans {
+		if spans[i].Name == "invoke" {
+			invokeRoot = &spans[i]
+		}
+	}
+	if invokeRoot == nil {
+		t.Fatalf("invocation did not join the caller's trace: %d spans", len(spans))
+	}
+	if invokeRoot.ParentID != spans[0].SpanID || spans[0].Name != "cli.invoke" {
+		t.Fatalf("invoke span not parented under the CLI root: %+v", invokeRoot)
+	}
+
+	// Malformed header: accepted request, fresh root trace.
+	req, _ = http.NewRequest("POST", f.url+"/api/invoke", bytes.NewReader(payload))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(trace.Header, "zz-not-a-trace")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 map[string]string
+	json.NewDecoder(resp.Body).Decode(&out2)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("malformed-header invoke rejected: %d", resp.StatusCode)
+	}
+	inv2, err := f.onserve.Invocation(out2["ticket"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-inv2.DoneChan()
+	spans2, err := f.onserve.InvocationTrace(out2["ticket"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans2) == 0 || spans2[0].TraceID == spans[0].TraceID {
+		t.Fatalf("malformed header did not mint a fresh root trace")
 	}
 }

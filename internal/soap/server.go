@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/wsdl"
 )
 
@@ -29,6 +30,10 @@ type Request struct {
 	RemoteAddr string
 	Service    *Service
 	Op         *wsdl.OperationDef
+	// Trace is the raw X-Grid-Trace header value (possibly empty or
+	// malformed — handlers parse it with trace.Parse, which degrades
+	// malformed contexts to "untraced").
+	Trace string
 }
 
 // Service is a deployed SOAP service: its WSDL-facing definition plus the
@@ -289,7 +294,10 @@ func (s *Server) invoke(w http.ResponseWriter, r *http.Request, svc *Service) {
 		})
 		return
 	}
-	result, err := h(&Request{Msg: msg, Args: args, RemoteAddr: r.RemoteAddr, Service: svc, Op: op})
+	result, err := h(&Request{
+		Msg: msg, Args: args, RemoteAddr: r.RemoteAddr, Service: svc, Op: op,
+		Trace: r.Header.Get(trace.Header),
+	})
 	if err != nil {
 		var f *Fault
 		if !errors.As(err, &f) {
