@@ -10,6 +10,7 @@
 //	experiments -pollhub          # output-collection ablation -> results/pollhub.json
 //	experiments -submit           # batched-submission ablation -> results/submit.json
 //	experiments -stage            # staging data-plane ablation -> results/stage.json
+//	experiments -placement        # data-aware placement ablation -> results/placement.json
 //	experiments -trace            # per-request span breakdown -> results/trace.json
 package main
 
@@ -33,6 +34,7 @@ func main() {
 		pollhub     = flag.Bool("pollhub", false, "run the poll-hub output-collection ablation")
 		submit      = flag.Bool("submit", false, "run the batched-submission front-end ablation")
 		stage       = flag.Bool("stage", false, "run the chunked-staging data-plane ablation")
+		placement   = flag.Bool("placement", false, "run the data-aware placement + pre-replication ablation")
 		traceFlag   = flag.Bool("trace", false, "run the traced small/large stock/all-knobs breakdown")
 		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
 		all         = flag.Bool("all", false, "run every experiment")
@@ -41,13 +43,13 @@ func main() {
 		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
 	)
 	flag.Parse()
-	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *traceFlag, *baseline, *all, *scale, *outDir, *jobs); err != nil {
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *placement, *traceFlag, *baseline, *all, *scale, *outDir, *jobs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, traceFlag, baseline, all bool, scale float64, outDir string, jobs int) error {
+func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, placement, traceFlag, baseline, all bool, scale float64, outDir string, jobs int) error {
 	opts := experiments.Options{Scale: scale}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -215,6 +217,23 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		}
 		fmt.Printf("wrote %s\n\n", path)
 	}
+	if all || placement {
+		any = true
+		res, err := experiments.AblationPlacement(opts, 64, nil)
+		if err != nil {
+			return fmt.Errorf("placement: %w", err)
+		}
+		fmt.Print(res.Render())
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "placement.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 	if all || traceFlag {
 		any = true
 		res, err := experiments.TraceBreakdown(opts, 0)
@@ -242,7 +261,7 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		fmt.Println()
 	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -trace, -baseline or -all")
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -placement, -trace, -baseline or -all")
 	}
 	return nil
 }

@@ -39,17 +39,43 @@ func main() {
 		listen        = flag.String("listen", "127.0.0.1:0", "address for the appliance HTTP endpoint")
 		dbDir         = flag.String("db", "", "database directory (empty: in-memory)")
 		tracing       = flag.Bool("trace", false, "record appliance-side invocation spans (read back via /api/trace, /trace, onserve-cli trace)")
+		chunked       = flag.Bool("chunked-staging", false, "stage executables through the chunked, content-addressed GridFTP protocol")
+		dataAware     = flag.Bool("data-placement", false, "score sites by chunk possession + transfer cost + load instead of load alone (implies probing the chunk stores; pair with -chunked-staging)")
+		replicateTopK = flag.Int("replicate-topk", 0, "pre-replicate freshly staged executables to the K least-loaded sibling sites (0: off)")
 		users         userList
 	)
 	flag.Var(&users, "user", "portal-user:myproxy-passphrase to register (repeatable)")
 	flag.Parse()
-	if err := run(*endpointsPath, *listen, *dbDir, *tracing, users); err != nil {
+	opts := bootOptions{
+		endpointsPath: *endpointsPath,
+		listen:        *listen,
+		dbDir:         *dbDir,
+		tracing:       *tracing,
+		chunked:       *chunked,
+		dataAware:     *dataAware,
+		replicateTopK: *replicateTopK,
+		users:         users,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "onserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(endpointsPath, listen, dbDir string, tracing bool, users userList) error {
+type bootOptions struct {
+	endpointsPath string
+	listen        string
+	dbDir         string
+	tracing       bool
+	chunked       bool
+	dataAware     bool
+	replicateTopK int
+	users         userList
+}
+
+func run(opts bootOptions) error {
+	endpointsPath, listen, dbDir, tracing, users :=
+		opts.endpointsPath, opts.listen, opts.dbDir, opts.tracing, opts.users
 	raw, err := os.ReadFile(endpointsPath)
 	if err != nil {
 		return fmt.Errorf("read endpoints (run gridd first?): %w", err)
@@ -65,7 +91,10 @@ func run(endpointsPath, listen, dbDir string, tracing bool, users userList) erro
 			MyProxyAddr: eps.MyProxyAddr,
 			FTPURLs:     eps.FTPURLs,
 		},
-		DBDir: dbDir,
+		DBDir:              dbDir,
+		ChunkedStaging:     opts.chunked,
+		DataAwarePlacement: opts.dataAware,
+		ReplicateTopK:      opts.replicateTopK,
 	}
 	if tracing {
 		// The grid services live in another process (gridd), so the

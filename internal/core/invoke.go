@@ -276,7 +276,7 @@ func (o *OnServe) invoke(serviceName string, args map[string]string, root *trace
 // stage-in data may only run where the owner staged it, so later
 // candidates are tried when submission reports a staging problem.
 func (o *OnServe) submitPipeline(sessionID, serviceName string, info *ExecutableInfo, args map[string]string, blob []byte, tc trace.SpanContext) (site, jobID string, err error) {
-	candidates, err := o.pickSites(sessionID)
+	candidates, err := o.pickSites(sessionID, serviceName, blob, tc)
 	if err != nil {
 		return "", "", err
 	}
@@ -367,34 +367,23 @@ func isSessionFault(err error) bool {
 }
 
 // pickSites asks the gatekeeper for scheduler statistics and orders the
-// stageable sites by load, least-committed first. With Config.StatsTTL
-// set, the snapshot is cached so heavy invocation traffic stops paying
-// one SOAP round-trip per call; slightly stale load data only shifts
-// which least-loaded site wins, never correctness.
-func (o *OnServe) pickSites(sessionID string) ([]string, error) {
+// stageable sites best-first: by load alone (the paper's behaviour),
+// or — with Config.DataAwarePlacement — by a score that also weighs
+// chunk possession and the cold-transfer cost of the missing bytes.
+// With Config.StatsTTL set, the snapshot is cached so heavy invocation
+// traffic stops paying one SOAP round-trip per call; slightly stale
+// load data only shifts which site wins, never correctness.
+func (o *OnServe) pickSites(sessionID, serviceName string, blob []byte, tc trace.SpanContext) ([]string, error) {
 	stats, err := o.gridStats(sessionID)
 	if err != nil {
 		return nil, fmt.Errorf("onserve: grid stats: %w", err)
 	}
-	type cand struct {
-		name string
-		load float64
-	}
-	var cands []cand
-	for _, st := range stats {
-		if _, ok := o.cfg.Agent.SiteURL(st.Name); !ok {
-			continue // no staging endpoint for this site
-		}
-		// A drained site (zero slots) counts as fully loaded: dividing by
-		// Slots would yield NaN/Inf and corrupt the sort order.
-		load := math.Inf(1)
-		if st.Slots > 0 {
-			load = float64(st.Slots-st.FreeSlots+st.Queued) / float64(st.Slots)
-		}
-		cands = append(cands, cand{name: st.Name, load: load})
-	}
+	cands := o.stageableLoads(stats)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("onserve: no stageable site available")
+	}
+	if o.cfg.DataAwarePlacement {
+		return o.placeDataAware(sessionID, serviceName, cands, blob, tc), nil
 	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].load != cands[j].load {
@@ -407,6 +396,32 @@ func (o *OnServe) pickSites(sessionID string) ([]string, error) {
 		out[i] = c.name
 	}
 	return out, nil
+}
+
+// siteLoad is one stageable site's load term: committed plus queued
+// work per slot.
+type siteLoad struct {
+	name string
+	load float64
+}
+
+// stageableLoads maps a scheduler-statistics snapshot to the load terms
+// of the sites the agent can stage to (order as reported).
+func (o *OnServe) stageableLoads(stats []gridsim.SiteStats) []siteLoad {
+	var cands []siteLoad
+	for _, st := range stats {
+		if _, ok := o.cfg.Agent.SiteURL(st.Name); !ok {
+			continue // no staging endpoint for this site
+		}
+		// A drained site (zero slots) counts as fully loaded: dividing by
+		// Slots would yield NaN/Inf and corrupt the sort order.
+		load := math.Inf(1)
+		if st.Slots > 0 {
+			load = float64(st.Slots-st.FreeSlots+st.Queued) / float64(st.Slots)
+		}
+		cands = append(cands, siteLoad{name: st.Name, load: load})
+	}
+	return cands
 }
 
 // gridStats fetches (or serves from the TTL cache) the gatekeeper's
@@ -549,6 +564,18 @@ func (o *OnServe) stageExecutableOnce(sessionID, serviceName, stagedName, site s
 	checksum, err := o.uploadExecutable(sessionID, serviceName, stagedName, site, blob, sp)
 	if err != nil {
 		return fmt.Errorf("onserve: stage executable: %w", err)
+	}
+	if o.rep != nil {
+		// The executable just landed cold at one site: queue a background
+		// push to the top-K least-loaded siblings (deduped per version).
+		o.rep.enqueue(repTask{
+			sessionID:  sessionID,
+			service:    serviceName,
+			stagedName: stagedName,
+			sourceSite: site,
+			checksum:   checksum,
+			blob:       blob,
+		})
 	}
 	if o.cfg.StagingCache {
 		o.mu.Lock()

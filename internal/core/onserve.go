@@ -174,6 +174,29 @@ type Config struct {
 	// bytes: a mid-file edit perturbs the gzip stream from that point on,
 	// so re-publish dedup works best with WireCompression off.
 	WireCompression bool
+	// DataAwarePlacement replaces load-only site ordering with a scorer
+	// that also weighs how many of the service's wire chunks each site
+	// already possesses (discovered through the chunk store's dedup
+	// probe, cached per service|site with singleflight) and the
+	// estimated cold-transfer time of the missing bytes over the shaped
+	// WAN. Off by default: the paper orders sites by load alone. A probe
+	// failure degrades the site to possession-unknown, never fails
+	// placement.
+	DataAwarePlacement bool
+	// PlacementProbeTTL is how long one possession probe's answer is
+	// trusted; 0 means DefaultPlacementProbeTTL.
+	PlacementProbeTTL time.Duration
+	// ReplicateTopK, when positive, enables the background
+	// pre-replicator: after a service's executable lands cold at one
+	// site, push it asynchronously to the K least-loaded sibling sites
+	// through the chunked pipeline. 0 (the default) disables it.
+	ReplicateTopK int
+	// ReplicateWorkers bounds the replicator's concurrent pushes; 0
+	// means DefaultReplicateWorkers.
+	ReplicateWorkers int
+	// ReplicateBudgetBytes caps the wire bytes the replicator pushes per
+	// minute-long cycle; 0 means DefaultReplicateBudgetBytes.
+	ReplicateBudgetBytes int64
 	// Tracing, when set, records a distributed span tree per invocation
 	// (logon, DB fetch, staging, submit, polling, output collection) and
 	// propagates context to every grid service via the X-Grid-Trace
@@ -199,6 +222,14 @@ type OnServe struct {
 	submit submitCounters
 	// stage tallies the chunked staging data plane (Config.ChunkedStaging).
 	stage stageCounters
+	// placement tallies the data-aware placement control plane
+	// (Config.DataAwarePlacement and the replicator).
+	placement placementCounters
+	// poss is the possession probe cache data-aware placement reads.
+	poss possState
+	// rep is the background pre-replicator (Config.ReplicateTopK); nil
+	// when replication is off.
+	rep *replicator
 
 	mu          sync.Mutex
 	users       map[string]UserAuth    // portal user -> myproxy logon
@@ -252,6 +283,15 @@ func New(cfg Config) (*OnServe, error) {
 	if cfg.SubmitHubWindow <= 0 {
 		cfg.SubmitHubWindow = DefaultSubmitHubWindow
 	}
+	if cfg.PlacementProbeTTL <= 0 {
+		cfg.PlacementProbeTTL = DefaultPlacementProbeTTL
+	}
+	if cfg.ReplicateWorkers <= 0 {
+		cfg.ReplicateWorkers = DefaultReplicateWorkers
+	}
+	if cfg.ReplicateBudgetBytes <= 0 {
+		cfg.ReplicateBudgetBytes = DefaultReplicateBudgetBytes
+	}
 	o := &OnServe{
 		cfg:            cfg,
 		clock:          cfg.Clock,
@@ -262,11 +302,16 @@ func New(cfg Config) (*OnServe, error) {
 		termTallies:    make(map[InvState]int),
 		stagingFlights: make(map[string]*stagingFlight),
 	}
+	o.poss.cache = make(map[string]possEntry)
+	o.poss.flights = make(map[string]*possFlight)
 	if cfg.PollHub {
 		o.hub = newPollHub(o, cfg.PollHubShards)
 	}
 	if cfg.SubmitHub {
 		o.shub = newSubmitHub(o)
+	}
+	if cfg.ReplicateTopK > 0 {
+		o.rep = newReplicator(o)
 	}
 	return o, nil
 }
@@ -526,6 +571,10 @@ func (o *OnServe) DeleteService(serviceName string) error {
 		}
 	}
 	o.mu.Unlock()
+	o.forgetPossession(serviceName)
+	if o.rep != nil {
+		o.rep.forget(serviceName)
+	}
 	return nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/gridsim"
+	"repro/internal/trace"
 )
 
 func TestPollHubEndToEnd(t *testing.T) {
@@ -258,7 +259,7 @@ func TestPickSitesZeroSlotSiteSortsLast(t *testing.T) {
 	}
 	f.ons.statsAt = f.clock.Now()
 	f.ons.mu.Unlock()
-	sites, err := f.ons.pickSites("session-unused-cache-warm")
+	sites, err := f.ons.pickSites("session-unused-cache-warm", "MontecarloService", nil, trace.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -89,16 +89,10 @@ func (o *OnServe) uploadOnce(sessionID, serviceName, stagedName, site string, bl
 	if !o.cfg.ChunkedStaging {
 		return ag.Upload(sessionID, site, stagedName, blob)
 	}
-	var gz []byte
-	if o.cfg.WireCompression {
-		// Ship the database's stored gzip stream as-is — no re-compress
-		// CPU on the appliance. Guard against a concurrent re-publish
-		// having moved the record past the blob we are staging; on any
-		// mismatch or error the transfer just carries the raw bytes.
-		if comp, rawSize, err := o.cfg.DB.Table(ExecutablesTable).GetCompressed(serviceName); err == nil && rawSize == len(blob) {
-			gz = comp
-		}
-	}
+	// Ship the database's stored gzip stream as-is when wire compression
+	// is on — no re-compress CPU on the appliance (see storedGzip for
+	// the re-publish guard).
+	gz := o.storedGzip(serviceName, blob)
 	stats, err := ag.UploadChunked(sessionID, site, stagedName, blob, gz, o.cfg.ChunkBytes)
 	if err != nil {
 		return "", err
@@ -117,6 +111,13 @@ func (o *OnServe) uploadOnce(sessionID, serviceName, stagedName, site string, bl
 	sp.SetInt("wire_bytes", stats.WireBytes)
 	sp.SetInt("chunks_shipped", int64(stats.ChunksShipped))
 	sp.SetInt("chunks_deduped", int64(stats.ChunksDeduped))
+	if !stats.Fallback {
+		// The site's chunk store now holds the full wire: credit it in
+		// the possession cache without waiting out the probe TTL. A
+		// fallback PUT leaves the chunk store untouched, so it earns no
+		// credit.
+		o.notePossession(serviceName, site, stats.LogicalBytes)
+	}
 	return stats.Checksum, nil
 }
 

@@ -269,6 +269,26 @@ func (a *Agent) UploadChunked(sessionID, site, name string, data, gz []byte, chu
 	return stats, nil
 }
 
+// HaveChunks asks one site's GridFTP server which of the wire-chunk
+// digests it does not hold — the dedup/resume probe reused by
+// data-aware placement as a possession oracle. Oversized digest lists
+// are batched by the client transparently.
+func (a *Agent) HaveChunks(sessionID, site string, digests []string) ([]string, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	ftp, ok := a.ftpFor(sess, site)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSite, site)
+	}
+	missing, err := ftp.HaveChunks(digests)
+	if err != nil {
+		return nil, fmt.Errorf("cyberaide: probe chunks at %s: %w", site, err)
+	}
+	return missing, nil
+}
+
 // Replicate performs a GridFTP third-party transfer: the toSite server
 // pulls name directly from the fromSite server under the session
 // identity, so the bytes never cross the agent's own (WAN) path.

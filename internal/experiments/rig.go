@@ -67,6 +67,12 @@ type Options struct {
 	ChunkedStaging  bool
 	ChunkBytes      int
 	WireCompression bool
+	// DataAwarePlacement / PlacementProbeTTL / ReplicateTopK select the
+	// possession-aware site scorer and the background pre-replicator
+	// (see core.Config); zero values keep load-only placement.
+	DataAwarePlacement bool
+	PlacementProbeTTL  time.Duration
+	ReplicateTopK      int
 	// Cost overrides the appliance CPU cost model (nil = defaults).
 	Cost *metrics.Cost
 	// Tracing turns on the distributed tracer: one collector shared by
@@ -182,31 +188,34 @@ func newRig(opts Options) (*rig, error) {
 		cost = *opts.Cost
 	}
 	img, err := appliance.BuildImage(appliance.Config{
-		Endpoints:         env.Endpoints(),
-		Clock:             clk,
-		Probe:             probe,
-		Cost:              cost,
-		GridHTTP:          gridHTTP,
-		MyProxyDial:       myproxyDial,
-		UserProfile:       lan,
-		PollInterval:      opts.PollInterval,
-		InvocationTimeout: time.Hour,
-		StagingCache:      opts.StagingCache,
-		DirectDBWrite:     opts.DirectDBWrite,
-		UseLongPoll:       opts.UseLongPoll,
-		SessionCache:      opts.SessionCache,
-		StatsTTL:          opts.StatsTTL,
-		BlobCacheBytes:    opts.BlobCacheBytes,
-		GroupCommit:       opts.GroupCommit,
-		PollHub:           opts.PollHub,
-		PollHubShards:     opts.PollHubShards,
-		CoalesceStaging:   opts.CoalesceStaging,
-		SubmitHub:         opts.SubmitHub,
-		SubmitHubWindow:   opts.SubmitHubWindow,
-		ChunkedStaging:    opts.ChunkedStaging,
-		ChunkBytes:        opts.ChunkBytes,
-		WireCompression:   opts.WireCompression,
-		Trace:             col,
+		Endpoints:          env.Endpoints(),
+		Clock:              clk,
+		Probe:              probe,
+		Cost:               cost,
+		GridHTTP:           gridHTTP,
+		MyProxyDial:        myproxyDial,
+		UserProfile:        lan,
+		PollInterval:       opts.PollInterval,
+		InvocationTimeout:  time.Hour,
+		StagingCache:       opts.StagingCache,
+		DirectDBWrite:      opts.DirectDBWrite,
+		UseLongPoll:        opts.UseLongPoll,
+		SessionCache:       opts.SessionCache,
+		StatsTTL:           opts.StatsTTL,
+		BlobCacheBytes:     opts.BlobCacheBytes,
+		GroupCommit:        opts.GroupCommit,
+		PollHub:            opts.PollHub,
+		PollHubShards:      opts.PollHubShards,
+		CoalesceStaging:    opts.CoalesceStaging,
+		SubmitHub:          opts.SubmitHub,
+		SubmitHubWindow:    opts.SubmitHubWindow,
+		ChunkedStaging:     opts.ChunkedStaging,
+		ChunkBytes:         opts.ChunkBytes,
+		WireCompression:    opts.WireCompression,
+		DataAwarePlacement: opts.DataAwarePlacement,
+		PlacementProbeTTL:  opts.PlacementProbeTTL,
+		ReplicateTopK:      opts.ReplicateTopK,
+		Trace:              col,
 	})
 	if err != nil {
 		env.Close()

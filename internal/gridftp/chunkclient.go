@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"sync"
 )
 
@@ -43,8 +44,31 @@ type ChunkedPutStats struct {
 }
 
 // HaveChunks asks the server which of digests it is missing — the
-// dedup/resume probe.
+// dedup/resume probe, reused by data-aware placement as a possession
+// oracle. Probes larger than one manifest's worth of digests are split
+// into MaxManifestChunks-sized batches transparently; the merged
+// missing list covers every batch.
 func (c *Client) HaveChunks(digests []string) ([]string, error) {
+	if len(digests) <= MaxManifestChunks {
+		return c.haveChunksOne(digests)
+	}
+	var missing []string
+	for off := 0; off < len(digests); off += MaxManifestChunks {
+		end := off + MaxManifestChunks
+		if end > len(digests) {
+			end = len(digests)
+		}
+		m, err := c.haveChunksOne(digests[off:end])
+		if err != nil {
+			return nil, err
+		}
+		missing = append(missing, m...)
+	}
+	return missing, nil
+}
+
+// haveChunksOne issues one probe request (≤ MaxManifestChunks digests).
+func (c *Client) haveChunksOne(digests []string) ([]string, error) {
 	body, err := json.Marshal(haveRequest{Digests: digests})
 	if err != nil {
 		return nil, err
@@ -153,6 +177,31 @@ func cutChunks(wire []byte, chunkBytes int) (order []string, byDigest map[string
 		byDigest[d] = piece
 	}
 	return order, byDigest
+}
+
+// WireChunks summarises how data would chunk on the wire: the unique
+// digest set plus each digest's chunk size. It is the read-only half of
+// PutChunked's cut, exported so placement can ask a site "which of
+// these would you still need?" without preparing an upload.
+func WireChunks(wire []byte, chunkBytes int) (digests []string, sizes map[string]int) {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	if chunkBytes > MaxChunkBytes {
+		chunkBytes = MaxChunkBytes
+	}
+	if len(wire) == 0 {
+		return nil, nil
+	}
+	_, byDigest := cutChunks(wire, chunkBytes)
+	digests = make([]string, 0, len(byDigest))
+	sizes = make(map[string]int, len(byDigest))
+	for d, chunk := range byDigest {
+		digests = append(digests, d)
+		sizes[d] = len(chunk)
+	}
+	sort.Strings(digests)
+	return digests, sizes
 }
 
 // PutChunked uploads data as name via the chunk protocol: probe the

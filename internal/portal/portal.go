@@ -352,6 +352,9 @@ type statsPayload struct {
 	// Stage is the chunked-staging data plane: chunks shipped/deduped,
 	// wire vs payload bytes, fallbacks, replications.
 	Stage core.StageStats `json:"stage"`
+	// Placement is the data-aware placement control plane: possession
+	// probes and cache hits, redirected placements, replicator pushes.
+	Placement core.PlacementStats `json:"placement"`
 	// Trace is the span ring's occupancy (spans, bytes, evictions);
 	// omitted while tracing is off.
 	Trace *trace.CollectorStats `json:"trace,omitempty"`
@@ -364,6 +367,7 @@ func (p *Portal) apiStats(w http.ResponseWriter, r *http.Request) {
 		Collector:  p.onserve.CollectorStats(),
 		Submit:     p.onserve.SubmitStats(),
 		Stage:      p.onserve.StageStats(),
+		Placement:  p.onserve.PlacementStats(),
 	}
 	if col := p.onserve.Tracer().Collector(); col != nil {
 		st := col.Stats()
