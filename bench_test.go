@@ -247,6 +247,22 @@ func BenchmarkPollHubSharded(b *testing.B) {
 	}
 }
 
+// BenchmarkPushEvents runs the same workload under the push collector:
+// state transitions and output bumps arrive over one gatekeeper event
+// stream per session, so steady-state status RPCs collapse to (at most)
+// the handful spent bootstrapping streams.
+func BenchmarkPushEvents(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPollHub(benchOpts(), 16, "push")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report(b, res, "poll-hub", "push", "status_rpcs", "status_rpcs")
+		report(b, res, "poll-hub", "push", "events_delivered", "events")
+		report(b, res, "poll-hub", "push", "detect_latency_s", "detect_s")
+	}
+}
+
 // BenchmarkSubmitStock runs the submission workload (a simultaneous
 // cold burst of one service) under the paper's front-end: one stats
 // RPC, one WAN staging upload and one submit RPC per invocation.

@@ -42,6 +42,7 @@ func main() {
 		chunked       = flag.Bool("chunked-staging", false, "stage executables through the chunked, content-addressed GridFTP protocol")
 		dataAware     = flag.Bool("data-placement", false, "score sites by chunk possession + transfer cost + load instead of load alone (implies probing the chunk stores; pair with -chunked-staging)")
 		replicateTopK = flag.Int("replicate-topk", 0, "pre-replicate freshly staged executables to the K least-loaded sibling sites (0: off)")
+		pushEvents    = flag.Bool("push-events", false, "collect job status over the gatekeeper's long-lived event streams instead of polling (falls back to the poll hub against a stock gatekeeper)")
 		users         userList
 	)
 	flag.Var(&users, "user", "portal-user:myproxy-passphrase to register (repeatable)")
@@ -54,6 +55,7 @@ func main() {
 		chunked:       *chunked,
 		dataAware:     *dataAware,
 		replicateTopK: *replicateTopK,
+		pushEvents:    *pushEvents,
 		users:         users,
 	}
 	if err := run(opts); err != nil {
@@ -70,6 +72,7 @@ type bootOptions struct {
 	chunked       bool
 	dataAware     bool
 	replicateTopK int
+	pushEvents    bool
 	users         userList
 }
 
@@ -95,6 +98,7 @@ func run(opts bootOptions) error {
 		ChunkedStaging:     opts.chunked,
 		DataAwarePlacement: opts.dataAware,
 		ReplicateTopK:      opts.replicateTopK,
+		PushEvents:         opts.pushEvents,
 	}
 	if tracing {
 		// The grid services live in another process (gridd), so the

@@ -65,6 +65,10 @@ type Config struct {
 	// (see core.Config); off keeps one poller goroutine per invocation.
 	PollHub       bool
 	PollHubShards int
+	// PushEvents selects the push-based collector: one long-lived
+	// /gram/events stream per session instead of polling, with the poll
+	// hub as its fallback rung (see core.Config). Off by default.
+	PushEvents bool
 	// CoalesceStaging / SubmitHub / SubmitHubWindow select the batched
 	// submission front-end (see core.Config); off keeps one upload and
 	// one submit RPC per invocation.
@@ -196,6 +200,7 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		StatsTTL:             cfg.StatsTTL,
 		PollHub:              cfg.PollHub,
 		PollHubShards:        cfg.PollHubShards,
+		PushEvents:           cfg.PushEvents,
 		CoalesceStaging:      cfg.CoalesceStaging,
 		SubmitHub:            cfg.SubmitHub,
 		SubmitHubWindow:      cfg.SubmitHubWindow,

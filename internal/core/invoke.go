@@ -93,6 +93,15 @@ func (inv *Invocation) Message() string {
 // DoneChan closes when the invocation is terminal.
 func (inv *Invocation) DoneChan() <-chan struct{} { return inv.done }
 
+// EndedAt returns when the invocation reached a terminal state (zero
+// while still in flight) — the collector-side endpoint of the
+// completion-detection latency the pollhub ablation measures.
+func (inv *Invocation) EndedAt() time.Time {
+	inv.mu.Lock()
+	defer inv.mu.Unlock()
+	return inv.endedAt
+}
+
 // TraceID returns the invocation's hex trace id, or "" when untraced.
 func (inv *Invocation) TraceID() string {
 	s := inv.rootSpan.Context().String()
@@ -261,6 +270,8 @@ func (o *OnServe) invoke(serviceName string, args map[string]string, root *trace
 	root.Set("job_id", jobID)
 
 	switch {
+	case o.events != nil:
+		o.events.register(inv)
 	case o.hub != nil:
 		o.hub.register(inv)
 	case o.cfg.UseLongPoll:

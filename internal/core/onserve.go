@@ -142,6 +142,20 @@ type Config struct {
 	// PollHubShards is the hub's worker count; 0 means
 	// DefaultPollHubShards. Ignored unless PollHub is set.
 	PollHubShards int
+	// PushEvents replaces polling altogether with the gatekeeper's
+	// long-lived event stream: one /gram/events connection per session
+	// multiplexes every job's state transitions and stdout-version bumps,
+	// so steady-state status RPCs drop to ~zero and completion is
+	// detected at push-delivery latency instead of the poll interval.
+	// Output payloads still ride the hub's conditional /gram/output
+	// fetch. The fallback ladder degrades gracefully: a stock gatekeeper
+	// (404 on /gram/events) or a dead stream hands every in-flight
+	// invocation to the poll hub, which is always constructed alongside
+	// the collector; reconnects resume from a Last-Event-ID cursor so no
+	// transition is lost. Watchdog and cancel semantics are identical to
+	// the poll paths. Off by default: the paper-faithful poller stays the
+	// baseline, and push is measured as an ablation.
+	PushEvents bool
 	// CoalesceStaging single-flights concurrent stagings of one
 	// executable to one site, so a cold burst of N invocations costs one
 	// WAN transfer per site instead of N. Off by default: the paper
@@ -214,6 +228,11 @@ type OnServe struct {
 	hub *pollHub
 	// collector tallies the output-collection work all three paths do.
 	collector collectorCounters
+	// events is the push-based collector (Config.PushEvents); nil routes
+	// registrations to the hub or the stock pollers.
+	events *eventCollector
+	// push tallies the event-stream work (Config.PushEvents).
+	push eventCounters
 	// shub is the submission coalescer (Config.SubmitHub); nil submits
 	// one RPC per invocation.
 	shub *submitHub
@@ -304,8 +323,13 @@ func New(cfg Config) (*OnServe, error) {
 	}
 	o.poss.cache = make(map[string]possEntry)
 	o.poss.flights = make(map[string]*possFlight)
-	if cfg.PollHub {
+	if cfg.PollHub || cfg.PushEvents {
+		// PushEvents always builds the hub too: it is the fallback rung
+		// when the event channel is absent or dies.
 		o.hub = newPollHub(o, cfg.PollHubShards)
+	}
+	if cfg.PushEvents {
+		o.events = newEventCollector(o)
 	}
 	if cfg.SubmitHub {
 		o.shub = newSubmitHub(o)

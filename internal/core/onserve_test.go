@@ -56,6 +56,11 @@ func newFixtureTraced(t *testing.T, gridHTTP *http.Client, col *trace.Collector,
 		t.Fatal(err)
 	}
 	t.Cleanup(env.Close)
+	// At scale 20000 the default 5s event-stream heartbeat is 0.25ms of
+	// real time, so the client's 3-heartbeat liveness budget (0.75ms)
+	// false-trips on scheduler jitter; a 10-minute virtual heartbeat
+	// keeps the liveness check meaningful under dilation.
+	env.Gatekeeper.SetHeartbeatInterval(10 * time.Minute)
 	if _, err := env.AddUser("alice", "pw", 0); err != nil {
 		t.Fatal(err)
 	}

@@ -181,9 +181,13 @@ func TestPlacementProbeFailureDegradesToLoad(t *testing.T) {
 	// No session cache: every invocation logs on with a fresh proxy, so a
 	// slow -race run's virtual hours cannot expire a shared session.
 	f := newFixtureHTTP(t, &http.Client{Transport: ks}, func(cfg *Config) {
-		// A -race run burns virtual hours of scaled clock on real work;
-		// keep the watchdog and walltime out of the way.
-		cfg.InvocationTimeout = 100 * time.Hour
+		// A -race run burns virtual hours of scaled clock on real work
+		// (six concurrent 3 MB stagings probing a dead site): keep the
+		// watchdog, walltime and per-invocation proxy expiry out of the
+		// way — this test is about placement, not deadlines. The timeout
+		// stays under jsdl.MaxWallTime since it doubles as the walltime.
+		cfg.InvocationTimeout = 160 * time.Hour
+		cfg.ProxyLifetime = 1000 * time.Hour
 		cfg.ChunkedStaging = true
 		cfg.DataAwarePlacement = true
 		// Expire possession answers immediately so the burst keeps probing

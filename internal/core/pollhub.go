@@ -101,9 +101,17 @@ func (h *pollHub) register(inv *Invocation) {
 		o.cfg.Agent.Cancel(inv.sessionID, inv.JobID)
 		inv.finish(InvKilled, fmt.Sprintf("watchdog: invocation exceeded %v", o.cfg.InvocationTimeout), o.clock.Now())
 	})
+	h.adopt(inv, wd, 0)
+}
+
+// adopt inserts an invocation whose watchdog is already armed — a fresh
+// registration, or one handed down by the event collector when the push
+// channel died. The transferred output cursor keeps the conditional
+// fetch path from re-shipping a snapshot the event path already stored.
+func (h *pollHub) adopt(inv *Invocation, wd *Watchdog, lastVer uint64) {
 	sh := h.shards[shardIndex(inv.Ticket, len(h.shards))]
 	sh.mu.Lock()
-	sh.jobs[inv.Ticket] = &hubJob{inv: inv, wd: wd}
+	sh.jobs[inv.Ticket] = &hubJob{inv: inv, wd: wd, lastVer: lastVer}
 	if !sh.running {
 		sh.running = true
 		go sh.run()

@@ -244,7 +244,12 @@ func TestTraceWatchdogEndsSpanTree(t *testing.T) {
 			if inv.State() != InvKilled {
 				t.Fatalf("state %s: %s", inv.State(), inv.Message())
 			}
-			if !strings.Contains(inv.Message(), "watchdog") {
+			// Two enforcement paths race at the same deadline: the client
+			// watchdog, and the site's own walltime limit (derived from
+			// the invocation timeout) observed as a TIMEOUT status. Either
+			// way the invocation is killed and the tree must close.
+			if !strings.Contains(inv.Message(), "watchdog") &&
+				!strings.Contains(inv.Message(), "walltime") {
 				t.Fatalf("message %q", inv.Message())
 			}
 			assertTreeEndedWithError(t, f, inv)

@@ -395,6 +395,17 @@ func (a *Agent) OutputIfChanged(sessionID, jobID string, since uint64) (out stri
 	return a.gramFor(sess).OutputIfChanged(jobID, since)
 }
 
+// Events opens the session's long-lived gatekeeper event stream,
+// resuming after cursor since. ErrNoEvents surfaces unwrapped so the
+// collector can fall back to polling against a stock gatekeeper.
+func (a *Agent) Events(sessionID string, since uint64) (*gram.EventStream, error) {
+	sess, err := a.Session(sessionID)
+	if err != nil {
+		return nil, err
+	}
+	return a.gramFor(sess).Events(sessionID, since)
+}
+
 // Output fetches the job's stdout snapshot (tentative polling target).
 func (a *Agent) Output(sessionID, jobID string) (string, error) {
 	sess, err := a.Session(sessionID)

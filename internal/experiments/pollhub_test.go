@@ -32,6 +32,27 @@ func TestAblationPollHub(t *testing.T) {
 	if vals["poll-hub/hub/makespan_s"] >= vals["poll-hub/stock/makespan_s"]*1.5 {
 		t.Fatalf("hub grossly slower: %v", vals)
 	}
+	// The push column retires steady-state status polling: at most the
+	// handful of bootstrap RPCs spent before each stream connects — far
+	// below even the hub's one-per-shard-tick budget.
+	pRPC := vals["poll-hub/push/status_rpcs"]
+	if pRPC >= hRPC {
+		t.Fatalf("push should out-batch the hub: hub %v RPCs vs push %v", hRPC, pRPC)
+	}
+	if pRPC > vals["poll-hub/push/event_streams"] {
+		t.Fatalf("push steady state not RPC-free: %v status RPCs over %v streams",
+			pRPC, vals["poll-hub/push/event_streams"])
+	}
+	if vals["poll-hub/push/events_delivered"] == 0 {
+		t.Fatalf("push delivered no events: %v", vals)
+	}
+	// A healthy gatekeeper never forces the collector down the ladder.
+	if vals["poll-hub/push/fallbacks_to_poll"] != 0 {
+		t.Fatalf("push fell back to polling against a healthy server: %v", vals)
+	}
+	if vals["poll-hub/push/makespan_s"] >= vals["poll-hub/stock/makespan_s"]*1.5 {
+		t.Fatalf("push grossly slower: %v", vals)
+	}
 }
 
 func TestAblationPollHubUnknownVariant(t *testing.T) {

@@ -55,6 +55,10 @@ type Options struct {
 	// (see core.Config); off keeps the paper's per-invocation poller.
 	PollHub       bool
 	PollHubShards int
+	// PushEvents selects the push-based collector: job completion rides
+	// one long-lived gatekeeper event stream per session instead of any
+	// polling (see core.Config); the poll hub rides along as fallback.
+	PushEvents bool
 	// CoalesceStaging / SubmitHub / SubmitHubWindow select the batched
 	// submission front-end (see core.Config); off keeps one upload and
 	// one submit RPC per invocation.
@@ -172,6 +176,10 @@ func newRig(opts Options) (*rig, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Time dilation shrinks the default event-stream heartbeat to a few
+	// real milliseconds; one virtual minute keeps the client's liveness
+	// budget well clear of real scheduler jitter.
+	env.Gatekeeper.SetHeartbeatInterval(time.Minute)
 	if _, err := env.AddUser("alice", "pw", 0); err != nil {
 		env.Close()
 		return nil, err
@@ -206,6 +214,7 @@ func newRig(opts Options) (*rig, error) {
 		GroupCommit:        opts.GroupCommit,
 		PollHub:            opts.PollHub,
 		PollHubShards:      opts.PollHubShards,
+		PushEvents:         opts.PushEvents,
 		CoalesceStaging:    opts.CoalesceStaging,
 		SubmitHub:          opts.SubmitHub,
 		SubmitHubWindow:    opts.SubmitHubWindow,

@@ -1,0 +1,337 @@
+// Long-lived event streams: the push channel the paper's 2010-era
+// gatekeepers lacked. GET /gram/events holds one chunked
+// text/event-stream connection per session and multiplexes every job
+// the authenticated identity owns over it — state transitions and
+// stdout-version bumps arrive as SSE-style frames the moment the
+// scheduler publishes them, instead of being discovered by status
+// polling. Reconnects resume from a Last-Event-ID cursor; a cursor
+// older than the server's retained history yields a "resync" frame
+// telling the client to re-fetch authoritative state once.
+package gram
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/gridsim"
+)
+
+// Event frame types on the wire.
+const (
+	// EventHello is the first frame of every stream; its data carries the
+	// negotiated heartbeat interval.
+	EventHello = "hello"
+	// EventState announces a job lifecycle transition.
+	EventState = "state"
+	// EventOutput announces a stdout-version bump.
+	EventOutput = "output"
+	// EventHeartbeat is a keepalive; a client missing several in a row
+	// should assume the connection is dead and reconnect.
+	EventHeartbeat = "heartbeat"
+	// EventResync tells the client its cursor (or buffer) lost events:
+	// re-fetch authoritative job state out of band, then keep streaming.
+	EventResync = "resync"
+)
+
+// DefaultHeartbeatInterval is the idle keepalive cadence.
+const DefaultHeartbeatInterval = 5 * time.Second
+
+// maxFrameLine bounds one frame line; longer lines poison the stream.
+const maxFrameLine = 64 << 10
+
+// ErrNoEvents reports that the gatekeeper does not implement
+// /gram/events (a stock server): callers should fall back to polling.
+var ErrNoEvents = errors.New("gram: server does not support event streams")
+
+// EventFrame is one wire frame: an optional cursor ID, an event type,
+// and a raw data payload (JSON for hello/state/output, empty for
+// heartbeat/resync).
+type EventFrame struct {
+	ID    uint64
+	Event string
+	Data  []byte
+}
+
+// EventData is the JSON payload of state/output frames.
+type EventData struct {
+	JobID         string `json:"job_id"`
+	State         string `json:"state,omitempty"`
+	Message       string `json:"message,omitempty"`
+	Site          string `json:"site,omitempty"`
+	OutputVersion uint64 `json:"output_version,omitempty"`
+	AtUnixNano    int64  `json:"at_unix_ns,omitempty"`
+}
+
+// helloData is the JSON payload of the hello frame.
+type helloData struct {
+	HeartbeatS int    `json:"heartbeat_s"`
+	Session    string `json:"session,omitempty"`
+}
+
+// SetHeartbeatInterval overrides the stream keepalive cadence (tests
+// and time-dilated rigs); zero or negative restores the default.
+func (s *Server) SetHeartbeatInterval(d time.Duration) { s.heartbeat = d }
+
+func (s *Server) heartbeatInterval() time.Duration {
+	if s.heartbeat > 0 {
+		return s.heartbeat
+	}
+	return DefaultHeartbeatInterval
+}
+
+// events serves GET /gram/events: one long-lived stream carrying every
+// transition of the authenticated identity's jobs. The session and
+// cursor are parsed before authentication (parse-before-auth: malformed
+// input degrades, never crashes); the token is verified over the fixed
+// message "events" like the other identity-scoped endpoints.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	session := r.URL.Query().Get("session")
+	// Cursor: Last-Event-ID header wins (SSE convention), else the
+	// ?since query; malformed values degrade to 0 = full replay.
+	cursor, _ := strconv.ParseUint(r.Header.Get("Last-Event-ID"), 10, 64)
+	if cursor == 0 {
+		cursor, _ = strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+	}
+	id, err := s.authenticate(r, []byte("events"))
+	if err != nil {
+		writeJSON(w, http.StatusForbidden, errorReply{Error: err.Error()})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorReply{Error: "gram: streaming unsupported"})
+		return
+	}
+	sub, replay, resync := s.grid.Events().Subscribe(id, cursor)
+	defer s.grid.Events().Unsubscribe(sub)
+
+	hb := s.heartbeatInterval()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	hello, _ := json.Marshal(helloData{HeartbeatS: int(hb / time.Second), Session: session})
+	if err := writeEventFrame(w, EventFrame{Event: EventHello, Data: hello}); err != nil {
+		return
+	}
+	if resync {
+		if err := writeEventFrame(w, EventFrame{Event: EventResync}); err != nil {
+			return
+		}
+	}
+	for _, ev := range replay {
+		if err := writeEventFrame(w, busFrame(ev)); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	var hbCh <-chan time.Time
+	for {
+		if hbCh == nil {
+			hbCh = s.clock.After(hb)
+		}
+		select {
+		case ev := <-sub.C:
+			if err := writeEventFrame(w, busFrame(ev)); err != nil {
+				return
+			}
+			// Drain whatever queued behind it before flushing once.
+			for drained := false; !drained; {
+				select {
+				case ev := <-sub.C:
+					if err := writeEventFrame(w, busFrame(ev)); err != nil {
+						return
+					}
+				default:
+					drained = true
+				}
+			}
+			flusher.Flush()
+		case <-sub.Overflow:
+			// The subscriber buffer spilled: the client's view has a gap.
+			if err := writeEventFrame(w, EventFrame{Event: EventResync}); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-hbCh:
+			hbCh = nil
+			if err := writeEventFrame(w, EventFrame{Event: EventHeartbeat}); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// busFrame converts a bus event to its wire frame.
+func busFrame(ev gridsim.JobEvent) EventFrame {
+	kind := EventOutput
+	if ev.Type == gridsim.EventState {
+		kind = EventState
+	}
+	data, _ := json.Marshal(EventData{
+		JobID:         ev.JobID,
+		State:         ev.State,
+		Message:       ev.Message,
+		Site:          ev.Site,
+		OutputVersion: ev.OutputVersion,
+		AtUnixNano:    ev.At.UnixNano(),
+	})
+	return EventFrame{ID: ev.Seq, Event: kind, Data: data}
+}
+
+// writeEventFrame emits one SSE-style frame in a single Write so a
+// chunked transfer never splits a frame across a flush boundary.
+func writeEventFrame(w io.Writer, f EventFrame) error {
+	var buf bytes.Buffer
+	if f.ID > 0 {
+		fmt.Fprintf(&buf, "id: %d\n", f.ID)
+	}
+	fmt.Fprintf(&buf, "event: %s\n", f.Event)
+	if len(f.Data) > 0 {
+		buf.WriteString("data: ")
+		buf.Write(f.Data)
+		buf.WriteByte('\n')
+	}
+	buf.WriteByte('\n')
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// readEventFrame parses one frame from the stream. Unknown fields and
+// comment lines (":") are skipped per the SSE contract; a malformed id
+// degrades to 0; an oversized line or truncated stream is an error —
+// the caller reconnects and resumes from its cursor.
+func readEventFrame(br *bufio.Reader) (EventFrame, error) {
+	var f EventFrame
+	seen := false
+	for {
+		line, err := readBoundedLine(br)
+		if err != nil {
+			return EventFrame{}, err
+		}
+		if len(line) == 0 {
+			if seen {
+				return f, nil
+			}
+			continue // leading blank lines between frames
+		}
+		seen = true
+		field, value, _ := bytes.Cut(line, []byte(":"))
+		value = bytes.TrimPrefix(value, []byte(" "))
+		switch string(field) {
+		case "id":
+			f.ID, _ = strconv.ParseUint(string(value), 10, 64)
+		case "event":
+			f.Event = string(value)
+		case "data":
+			f.Data = append([]byte(nil), value...)
+		case "":
+			// comment line (":...")
+		}
+	}
+}
+
+// readBoundedLine reads one \n-terminated line, rejecting lines longer
+// than maxFrameLine.
+func readBoundedLine(br *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, more, err := br.ReadLine()
+		if err != nil {
+			return nil, err
+		}
+		line = append(line, chunk...)
+		if len(line) > maxFrameLine {
+			return nil, fmt.Errorf("%w: frame line over %d bytes", ErrBadInput, maxFrameLine)
+		}
+		if !more {
+			return line, nil
+		}
+	}
+}
+
+// EventStream is one live connection to /gram/events.
+type EventStream struct {
+	body io.ReadCloser
+	br   *bufio.Reader
+	// Heartbeat is the server's announced keepalive interval from the
+	// hello frame; a reader silent for several multiples of it should
+	// treat the stream as dead.
+	Heartbeat time.Duration
+}
+
+// Next blocks for the next frame. Any error (including a malformed
+// frame) means the stream is unusable: close it and reconnect from the
+// last good cursor.
+func (es *EventStream) Next() (EventFrame, error) {
+	return readEventFrame(es.br)
+}
+
+// Close tears the stream down; it is safe to call concurrently with
+// Next (closing the body unblocks the pending read).
+func (es *EventStream) Close() error { return es.body.Close() }
+
+// Events opens the session's event stream, resuming after cursor since
+// (0 = from the beginning of retained history). A stock gatekeeper
+// without the endpoint yields ErrNoEvents so callers can fall back to
+// polling. The first frame (consumed here) must be a hello carrying the
+// heartbeat interval.
+func (c *Client) Events(session string, since uint64) (*EventStream, error) {
+	tok, err := c.sign([]byte("events"))
+	if err != nil {
+		return nil, err
+	}
+	u := c.BaseURL + "/gram/events?session=" + url.QueryEscape(session)
+	if since > 0 {
+		u += "&since=" + strconv.FormatUint(since, 10)
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(TokenHeader, tok)
+	if since > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(since, 10))
+	}
+	c.setTrace(req)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("gram: /gram/events: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, MaxBody))
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusNotFound {
+			return nil, fmt.Errorf("%w: http 404", ErrNoEvents)
+		}
+		return nil, decodeError(resp.StatusCode, body)
+	}
+	es := &EventStream{body: resp.Body, br: bufio.NewReader(resp.Body)}
+	first, err := es.Next()
+	if err != nil {
+		es.Close()
+		return nil, fmt.Errorf("gram: event stream handshake: %w", err)
+	}
+	if first.Event != EventHello {
+		es.Close()
+		return nil, fmt.Errorf("%w: first frame %q, want hello", ErrBadInput, first.Event)
+	}
+	var h helloData
+	if err := json.Unmarshal(first.Data, &h); err != nil || h.HeartbeatS <= 0 {
+		es.Close()
+		return nil, fmt.Errorf("%w: bad hello frame", ErrBadInput)
+	}
+	es.Heartbeat = time.Duration(h.HeartbeatS) * time.Second
+	return es, nil
+}

@@ -119,6 +119,9 @@ type Server struct {
 	trust  *xsec.TrustStore
 	clock  vtime.Clock
 	tracer *trace.Tracer
+	// heartbeat is the event-stream keepalive cadence; zero means
+	// DefaultHeartbeatInterval (see SetHeartbeatInterval).
+	heartbeat time.Duration
 }
 
 // SetTracer enables distributed tracing of submissions: each traced
@@ -195,6 +198,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.sites(w, r)
 	case r.Method == http.MethodGet && r.URL.Path == "/gram/usage":
 		s.usage(w, r)
+	case r.Method == http.MethodGet && r.URL.Path == "/gram/events":
+		s.events(w, r)
 	default:
 		writeJSON(w, http.StatusNotFound, errorReply{Error: "gram: unknown endpoint"})
 	}

@@ -22,6 +22,7 @@ var t0 = time.Date(2010, 6, 1, 0, 0, 0, 0, time.UTC)
 type fixture struct {
 	grid   *gridsim.Grid
 	clock  *vtime.Scaled
+	srv    *Server
 	client *Client
 	other  *Client
 	alice  string
@@ -60,6 +61,7 @@ func newFixture(t *testing.T) *fixture {
 	return &fixture{
 		grid:   grid,
 		clock:  clk,
+		srv:    srv,
 		client: &Client{BaseURL: hs.URL, Cred: alice},
 		other:  &Client{BaseURL: hs.URL, Cred: bob},
 		alice:  alice.Subject(),

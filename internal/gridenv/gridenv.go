@@ -48,6 +48,9 @@ type Env struct {
 	CA    *xsec.CA
 	Trust *xsec.TrustStore
 	Grid  *gridsim.Grid
+	// Gatekeeper is the GRAM server behind GramURL; time-dilated rigs
+	// tune its event-stream heartbeat through it.
+	Gatekeeper *gram.Server
 
 	// Endpoints for the Cyberaide agent.
 	GramURL     string
@@ -121,6 +124,7 @@ func Start(opts Options) (*Env, error) {
 		grid.SetTracer(trace.NewTracer("gridsim", clock, opts.Trace))
 	}
 	gk := gram.NewServer(grid, trust, clock)
+	env.Gatekeeper = gk
 	if opts.Trace != nil {
 		gk.SetTracer(trace.NewTracer("gram", clock, opts.Trace))
 	}

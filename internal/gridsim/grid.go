@@ -31,6 +31,7 @@ type Grid struct {
 	clock vtime.Clock
 	sites map[string]*Site
 	order []string
+	bus   *EventBus
 }
 
 // New builds a grid from site configs.
@@ -41,7 +42,11 @@ func New(clock vtime.Clock, configs ...SiteConfig) (*Grid, error) {
 	if clock == nil {
 		clock = vtime.Real{}
 	}
-	g := &Grid{clock: clock, sites: make(map[string]*Site, len(configs))}
+	g := &Grid{
+		clock: clock,
+		sites: make(map[string]*Site, len(configs)),
+		bus:   NewEventBus(),
+	}
 	for _, cfg := range configs {
 		if cfg.Name == "" || cfg.slots() <= 0 {
 			return nil, fmt.Errorf("gridsim: site %q needs a name and capacity", cfg.Name)
@@ -49,7 +54,9 @@ func New(clock vtime.Clock, configs ...SiteConfig) (*Grid, error) {
 		if _, dup := g.sites[cfg.Name]; dup {
 			return nil, fmt.Errorf("gridsim: duplicate site %q", cfg.Name)
 		}
-		g.sites[cfg.Name] = NewSite(cfg, clock)
+		site := NewSite(cfg, clock)
+		site.bus = g.bus
+		g.sites[cfg.Name] = site
 		g.order = append(g.order, cfg.Name)
 	}
 	sort.Strings(g.order)
@@ -58,6 +65,12 @@ func New(clock vtime.Clock, configs ...SiteConfig) (*Grid, error) {
 
 // Clock returns the grid's clock.
 func (g *Grid) Clock() vtime.Clock { return g.clock }
+
+// Events returns the grid-wide transition bus: every site's job
+// lifecycle transitions and stdout bumps publish here, keyed by owner.
+// The gatekeeper's event streams subscribe to it so completion is pushed
+// instead of discovered by polling.
+func (g *Grid) Events() *EventBus { return g.bus }
 
 // SetTracer enables job-lifecycle tracing at every site: traced
 // submissions record "job.queue" and "job.run" spans at the exact

@@ -187,19 +187,30 @@ func (j *Job) Times() (submitted, started, ended time.Time) {
 	return j.submitted, j.started, j.ended
 }
 
-// writeStdout appends to the job's stdout stream.
-func (j *Job) writeStdout(p []byte) (int, error) {
+// writeStdout appends to the job's stdout stream and returns the new
+// output version (unchanged when p is empty).
+func (j *Job) writeStdout(p []byte) (n int, ver uint64, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if len(p) > 0 {
 		j.stdoutVer++
 	}
-	return j.stdout.Write(p)
+	n, err = j.stdout.Write(p)
+	return n, j.stdoutVer, err
 }
 
-type stdoutWriter struct{ j *Job }
+type stdoutWriter struct {
+	j *Job
+	s *Site
+}
 
-func (w stdoutWriter) Write(p []byte) (int, error) { return w.j.writeStdout(p) }
+func (w stdoutWriter) Write(p []byte) (int, error) {
+	n, ver, err := w.j.writeStdout(p)
+	if len(p) > 0 && w.s != nil {
+		w.s.publishOutput(w.j, ver)
+	}
+	return n, err
+}
 
 // writeOutput stores an output artifact, enforcing the per-job quota.
 func (j *Job) writeOutput(name string, data []byte) error {

@@ -93,6 +93,9 @@ type Site struct {
 	clock  vtime.Clock
 	store  *Store
 	tracer *trace.Tracer
+	// bus receives job transition/output events (nil for a standalone
+	// site; Grid.New wires the grid-wide bus in).
+	bus *EventBus
 
 	mu        sync.Mutex
 	freeSlots int
@@ -156,6 +159,33 @@ func (s *Site) Store() *Store { return s.store }
 // SetTracer enables job-lifecycle spans for traced submissions. Call
 // before submitting; a nil tracer keeps tracing off.
 func (s *Site) SetTracer(t *trace.Tracer) { s.tracer = t }
+
+// publishState emits a lifecycle-transition event for j; no-op without a
+// bus. Called outside s.mu and j.mu.
+func (s *Site) publishState(j *Job, st State, msg string, ver uint64, at time.Time) {
+	s.bus.publish(JobEvent{
+		Type:          EventState,
+		JobID:         j.ID,
+		Owner:         j.Desc.Owner,
+		State:         st.String(),
+		Message:       msg,
+		Site:          s.cfg.Name,
+		OutputVersion: ver,
+		At:            at,
+	})
+}
+
+// publishOutput emits a stdout-version bump for j; no-op without a bus.
+func (s *Site) publishOutput(j *Job, ver uint64) {
+	s.bus.publish(JobEvent{
+		Type:          EventOutput,
+		JobID:         j.ID,
+		Owner:         j.Desc.Owner,
+		Site:          s.cfg.Name,
+		OutputVersion: ver,
+		At:            s.clock.Now(),
+	})
+}
 
 // Slots returns total capacity.
 func (s *Site) Slots() int { return s.cfg.slots() }
@@ -236,11 +266,13 @@ func (s *Site) Cancel(id string) error {
 	}
 	s.mu.Unlock()
 	if inQueue {
-		if j.finish(Cancelled, "cancelled by user", s.clock.Now()) {
+		endedAt := s.clock.Now()
+		if j.finish(Cancelled, "cancelled by user", endedAt) {
 			// Never dispatched: account it here, since no runner will.
 			s.mu.Lock()
 			s.failed++
 			s.mu.Unlock()
+			s.publishState(j, Cancelled, "cancelled by user", j.StdoutVersion(), endedAt)
 		}
 		return nil
 	}
@@ -469,7 +501,9 @@ func (s *Site) run(j *Job, startedAt time.Time) {
 	}
 	s.dispatchLocked()
 	s.mu.Unlock()
-	j.finish(st, msg, endedAt)
+	if j.finish(st, msg, endedAt) {
+		s.publishState(j, st, msg, j.StdoutVersion(), endedAt)
+	}
 }
 
 // execute runs the job body and reports the terminal state to record.
@@ -477,6 +511,7 @@ func (s *Site) execute(j *Job, startedAt time.Time) (State, string) {
 	if !j.markRunning(startedAt) {
 		return Cancelled, "cancelled before start" // finished while queued
 	}
+	s.publishState(j, Running, "", j.StdoutVersion(), startedAt)
 	src, err := s.store.Get(j.Desc.Owner, j.Desc.Executable)
 	if err != nil {
 		return Failed, "stage-in vanished: " + err.Error()
@@ -492,7 +527,7 @@ func (s *Site) execute(j *Job, startedAt time.Time) (State, string) {
 	}
 	env := &gsh.Env{
 		Args:   j.Desc.Arguments,
-		Stdout: stdoutWriter{j},
+		Stdout: stdoutWriter{j: j, s: s},
 		Clock:  s.clock,
 		CPU: func(d time.Duration) {
 			scaled := time.Duration(float64(d) / s.cfg.CPUFactor)

@@ -346,6 +346,9 @@ type statsPayload struct {
 	// Collector is the poll-side counters: status RPCs, output fetches
 	// and bytes, not-modified skips, poll disk writes.
 	Collector core.CollectorStats `json:"collector"`
+	// Events is the push-collection path: streams opened, events
+	// delivered, reconnects/cursor resumes, fallbacks to polling.
+	Events core.EventStats `json:"events"`
 	// Submit is the submission front-end: submit RPCs, batched submits,
 	// upload counts/retries, coalesced stagings.
 	Submit core.SubmitStats `json:"submit"`
@@ -365,6 +368,7 @@ func (p *Portal) apiStats(w http.ResponseWriter, r *http.Request) {
 	payload := statsPayload{
 		Monitoring: p.onserve.Monitoring(),
 		Collector:  p.onserve.CollectorStats(),
+		Events:     p.onserve.EventStats(),
 		Submit:     p.onserve.SubmitStats(),
 		Stage:      p.onserve.StageStats(),
 		Placement:  p.onserve.PlacementStats(),

@@ -15,15 +15,18 @@ fi
 go vet ./...
 go build ./...
 go test -race -short ./...
-# The invocation collectors (per-invocation pollers and the sharded poll
-# hub), the submission front-end (coalesced staging, submit hub, batch
-# RPCs), the WAL, the chunked staging data plane (shared chunk stores,
-# pipelined chunk PUTs), the shaped links under it, the tracing
-# subsystem (one collector shared by every service, spans annotated
-# from watchdog and poller concurrently, portal export under load),
-# and the placement layer (parallel possession probes, TTL cache +
-# singleflight, background replicator workers — the agent carries the
-# batched probe client) are the concurrency hot spots: run their
-# packages fresh (-count=1 defeats the test cache) so cached "ok"
-# lines can never mask a newly introduced race.
+# The invocation collectors (per-invocation pollers, the sharded poll
+# hub, and the push collector — event streams racing cancels, watchdog
+# kills, and the hub-fallback handover; the gridsim event bus fanning
+# out under concurrent publishers), the submission front-end (coalesced
+# staging, submit hub, batch RPCs), the WAL, the chunked staging data
+# plane (shared chunk stores, pipelined chunk PUTs), the shaped links
+# under it, the tracing subsystem (one collector shared by every
+# service, spans annotated from watchdog and poller concurrently,
+# portal export under load), and the placement layer (parallel
+# possession probes, TTL cache + singleflight, background replicator
+# workers — the agent carries the batched probe client) are the
+# concurrency hot spots: run their packages fresh (-count=1 defeats the
+# test cache) so cached "ok" lines can never mask a newly introduced
+# race.
 go test -race -count=1 ./internal/core ./internal/blobdb ./internal/cyberaide ./internal/gram ./internal/gridsim ./internal/gridftp ./internal/netsim ./internal/portal ./internal/soap ./internal/trace
