@@ -11,6 +11,7 @@
 //	experiments -submit           # batched-submission ablation -> results/submit.json
 //	experiments -stage            # staging data-plane ablation -> results/stage.json
 //	experiments -placement        # data-aware placement ablation -> results/placement.json
+//	experiments -blobdb           # storage-engine ablation -> results/blobdb.json
 //	experiments -trace            # per-request span breakdown -> results/trace.json
 package main
 
@@ -35,6 +36,8 @@ func main() {
 		submit      = flag.Bool("submit", false, "run the batched-submission front-end ablation")
 		stage       = flag.Bool("stage", false, "run the chunked-staging data-plane ablation")
 		placement   = flag.Bool("placement", false, "run the data-aware placement + pre-replication ablation")
+		blobdbFlag  = flag.Bool("blobdb", false, "run the storage-engine sharding/compaction/replay ablation")
+		replayRecs  = flag.Int("replay-records", 1_000_000, "record count for the -blobdb cold-boot replay study")
 		traceFlag   = flag.Bool("trace", false, "run the traced small/large stock/all-knobs breakdown")
 		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
 		all         = flag.Bool("all", false, "run every experiment")
@@ -43,13 +46,13 @@ func main() {
 		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
 	)
 	flag.Parse()
-	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *placement, *traceFlag, *baseline, *all, *scale, *outDir, *jobs); err != nil {
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *placement, *blobdbFlag, *traceFlag, *baseline, *all, *scale, *outDir, *jobs, *replayRecs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, placement, traceFlag, baseline, all bool, scale float64, outDir string, jobs int) error {
+func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, placement, blobdbFlag, traceFlag, baseline, all bool, scale float64, outDir string, jobs, replayRecs int) error {
 	opts := experiments.Options{Scale: scale}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -234,6 +237,23 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		}
 		fmt.Printf("wrote %s\n\n", path)
 	}
+	if all || blobdbFlag {
+		any = true
+		res, err := experiments.AblationBlobDB(replayRecs)
+		if err != nil {
+			return fmt.Errorf("blobdb: %w", err)
+		}
+		fmt.Print(res.Render())
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "blobdb.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 	if all || traceFlag {
 		any = true
 		res, err := experiments.TraceBreakdown(opts, 0)
@@ -261,7 +281,7 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		fmt.Println()
 	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -placement, -trace, -baseline or -all")
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -placement, -blobdb, -trace, -baseline or -all")
 	}
 	return nil
 }

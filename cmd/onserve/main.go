@@ -43,6 +43,9 @@ func main() {
 		dataAware     = flag.Bool("data-placement", false, "score sites by chunk possession + transfer cost + load instead of load alone (implies probing the chunk stores; pair with -chunked-staging)")
 		replicateTopK = flag.Int("replicate-topk", 0, "pre-replicate freshly staged executables to the K least-loaded sibling sites (0: off)")
 		pushEvents    = flag.Bool("push-events", false, "collect job status over the gatekeeper's long-lived event streams instead of polling (falls back to the poll hub against a stock gatekeeper)")
+		walShards     = flag.Int("wal-shards", 0, "split the database across N sharded, segmented WALs (0 or 1: stock single-WAL layout; changing the count migrates the directory in place)")
+		segmentBytes  = flag.Int64("segment-bytes", 0, "roll a shard's live WAL segment past this size (0: 16 MiB default; needs -wal-shards >= 2)")
+		autoCompact   = flag.Bool("auto-compact", false, "retire dead WAL segments in the background instead of stop-the-world compaction (needs -wal-shards >= 2)")
 		users         userList
 	)
 	flag.Var(&users, "user", "portal-user:myproxy-passphrase to register (repeatable)")
@@ -56,6 +59,9 @@ func main() {
 		dataAware:     *dataAware,
 		replicateTopK: *replicateTopK,
 		pushEvents:    *pushEvents,
+		walShards:     *walShards,
+		segmentBytes:  *segmentBytes,
+		autoCompact:   *autoCompact,
 		users:         users,
 	}
 	if err := run(opts); err != nil {
@@ -73,6 +79,9 @@ type bootOptions struct {
 	dataAware     bool
 	replicateTopK int
 	pushEvents    bool
+	walShards     int
+	segmentBytes  int64
+	autoCompact   bool
 	users         userList
 }
 
@@ -99,6 +108,9 @@ func run(opts bootOptions) error {
 		DataAwarePlacement: opts.dataAware,
 		ReplicateTopK:      opts.replicateTopK,
 		PushEvents:         opts.pushEvents,
+		WALShards:          opts.walShards,
+		SegmentBytes:       opts.segmentBytes,
+		AutoCompact:        opts.autoCompact,
 	}
 	if tracing {
 		// The grid services live in another process (gridd), so the

@@ -94,6 +94,12 @@ type Config struct {
 	// blobdb.Options); zero values keep the stock behaviour.
 	BlobCacheBytes int64
 	GroupCommit    bool
+	// WALShards / SegmentBytes / AutoCompact select the sharded, segmented
+	// storage engine and its background compactor (see blobdb.Options);
+	// zero values keep the stock single-WAL layout.
+	WALShards    int
+	SegmentBytes int64
+	AutoCompact  bool
 	// Trace, when non-nil, turns on distributed tracing in the onServe
 	// pipeline, recording spans into this collector. Share one collector
 	// with gridenv.Options.Trace to get single cross-service trees.
@@ -163,10 +169,16 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 		ln = netsim.NewListener(ln, cfg.UserProfile, cfg.Probe)
 	}
 
-	db, err := blobdb.Open(blobdb.Options{
+	dbOpts := blobdb.Options{
 		Dir: cfg.DBDir, Clock: cfg.Clock, Probe: cfg.Probe, Cost: cfg.Cost,
 		BlobCacheBytes: cfg.BlobCacheBytes, GroupCommit: cfg.GroupCommit,
-	})
+		WALShards: cfg.WALShards, SegmentBytes: cfg.SegmentBytes,
+		AutoCompact: cfg.AutoCompact,
+	}
+	if cfg.Trace != nil {
+		dbOpts.Tracer = trace.NewTracer("blobdb", cfg.Clock, cfg.Trace)
+	}
+	db, err := blobdb.Open(dbOpts)
 	if err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("appliance: open database: %w", err)

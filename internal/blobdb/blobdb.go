@@ -10,6 +10,15 @@
 // state into a snapshot and truncates the log, and Open replays snapshot
 // then log. Opening with an empty directory yields a purely in-memory
 // store.
+//
+// The stock layout is one wal.log + snapshot.db, byte-identical to the
+// original engine. Options.WALShards >= 2 selects the scaled engine:
+// keys hash to N shards, each with its own lock, its own segmented WAL
+// (wal-<shard>-<seg>.log rolled at SegmentBytes) and — with GroupCommit —
+// its own batcher; Options.AutoCompact adds a background compactor that
+// retires sealed segments incrementally instead of Compact's
+// stop-the-world snapshot. Opening an existing directory with a
+// different shard count migrates the layout in place.
 package blobdb
 
 import (
@@ -27,17 +36,36 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 	"repro/internal/vtime"
 )
 
-// File names inside the database directory.
+// File names inside the database directory. The stock single-shard
+// layout uses walName/snapshotName; sharded layouts are declared by
+// manifestName and use wal-<shard>-<seg>.log / snapshot-<shard>.db.
 const (
 	walName      = "wal.log"
 	snapshotName = "snapshot.db"
+	manifestName = "wal-manifest.json"
 )
 
 // MaxBlobBytes bounds one stored blob.
 const MaxBlobBytes = 256 << 20
+
+// DefaultSegmentBytes is the live-segment roll threshold when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 16 << 20
+
+// DefaultCompactEvery is the background compactor's scan cadence when
+// Options.CompactEvery is zero.
+const DefaultCompactEvery = time.Second
+
+// opFloor marks a sharded snapshot's coverage: segments with an index
+// below the recorded floor are superseded by the snapshot and skipped
+// (and removed) at replay, which is what makes segment retirement
+// crash-safe in any unlink order. Stock files never carry it; old
+// readers ignored unknown ops, so the format stays forward-compatible.
+const opFloor = "floor"
 
 // Errors.
 var (
@@ -64,13 +92,20 @@ type row struct {
 	rawSize  int
 	storedAt time.Time
 	// gen is the row's generation, bumped on every put; the decompressed-
-	// blob cache keys on it so stale inflations never serve.
+	// blob cache keys on it so stale inflations never serve. Generations
+	// are per shard — a key always hashes to the same shard, so they stay
+	// monotonic per key.
 	gen uint64
+	// seg is the WAL segment holding the row's latest put (-1 when the
+	// row came from a snapshot); superseding the row decrements that
+	// segment's live count so the compactor can retire fully-dead
+	// segments without rewriting anything.
+	seg int
 }
 
 // walEntry is one log record.
 type walEntry struct {
-	Op       string            `json:"op"` // "put" | "delete"
+	Op       string            `json:"op"` // "put" | "delete" | "floor"
 	Table    string            `json:"table"`
 	Key      string            `json:"key"`
 	Meta     map[string]string `json:"meta,omitempty"`
@@ -81,23 +116,24 @@ type walEntry struct {
 
 // DB is the database handle. All methods are safe for concurrent use.
 type DB struct {
-	dir   string
-	clock vtime.Clock
-	probe *metrics.Probe
-	cost  metrics.Cost
+	dir    string
+	clock  vtime.Clock
+	probe  *metrics.Probe
+	cost   metrics.Cost
+	tracer *trace.Tracer
 
-	mu     sync.RWMutex
-	tables map[string]map[string]*row
-	wal    *os.File
-	closed bool
-	genSeq uint64 // generation counter for rows
-	// walWrites / walSyncs count WAL write and fsync calls (group-commit
-	// batching makes walWrites < puts under concurrency).
-	walWrites int64
-	walSyncs  int64
+	// sharded is true when the directory uses the manifest-declared
+	// multi-WAL layout; stock databases run on shards[0] alone with the
+	// legacy file names.
+	sharded  bool
+	segLimit int64
+	shards   []*shard
 
-	cache *blobCache      // decompressed-blob LRU; nil when disabled
-	gc    *groupCommitter // WAL group commit; nil when disabled
+	cache *blobCache // decompressed-blob LRU; nil when disabled
+	comp  *compactor // background compactor; nil when disabled
+
+	closeMu sync.Mutex
+	closed  bool
 }
 
 // Options configures Open.
@@ -118,8 +154,33 @@ type Options struct {
 	// GroupCommit batches concurrent WAL appends into one write with a
 	// single fsync (append-before-apply preserved). Off by default: the
 	// stock path performs one unsynced write per mutation, as the paper's
-	// MySQL stand-in did. Only effective for persistent databases.
+	// MySQL stand-in did. Only effective for persistent databases. With
+	// WALShards >= 2 each shard runs its own committer, so batches on
+	// different shards flush in parallel.
 	GroupCommit bool
+	// WALShards splits the keyspace across N independent WALs: keys hash
+	// to a shard, and each shard has its own lock and its own segmented
+	// log, so concurrent puts to different shards never contend. 0 or 1
+	// keeps the stock single-WAL layout, byte-identical on disk. Opening
+	// an existing directory with a different shard count migrates the
+	// layout in place (both directions, any count change).
+	WALShards int
+	// SegmentBytes rolls a shard's live WAL segment once it grows past
+	// this size; sealed segments are the unit the compactor retires.
+	// Zero means DefaultSegmentBytes. Sharded layouts only.
+	SegmentBytes int64
+	// AutoCompact runs a background compactor that incrementally retires
+	// sealed segments whose entries are all superseded and snapshots one
+	// shard per scan when its sealed garbage passes 50%, replacing
+	// stop-the-world Compact calls with rate-limited work under live
+	// traffic. Sharded persistent databases only.
+	AutoCompact bool
+	// CompactEvery is the background compactor's scan cadence (real
+	// time, not the virtual clock); zero means DefaultCompactEvery.
+	CompactEvery time.Duration
+	// Tracer records db.replay spans at Open and db.compact spans per
+	// compaction; nil records nothing.
+	Tracer *trace.Tracer
 }
 
 // Open opens (creating or recovering) a database.
@@ -128,12 +189,26 @@ func Open(opts Options) (*DB, error) {
 	if clock == nil {
 		clock = vtime.Real{}
 	}
+	n := opts.WALShards
+	if n < 2 {
+		n = 1
+	}
+	segLimit := opts.SegmentBytes
+	if segLimit <= 0 {
+		segLimit = DefaultSegmentBytes
+	}
 	db := &DB{
-		dir:    opts.Dir,
-		clock:  clock,
-		probe:  opts.Probe,
-		cost:   opts.Cost,
-		tables: make(map[string]map[string]*row),
+		dir:      opts.Dir,
+		clock:    clock,
+		probe:    opts.Probe,
+		cost:     opts.Cost,
+		tracer:   opts.Tracer,
+		sharded:  n > 1,
+		segLimit: segLimit,
+	}
+	db.shards = make([]*shard, n)
+	for i := range db.shards {
+		db.shards[i] = &shard{db: db, idx: i, tables: make(map[string]map[string]*row)}
 	}
 	if opts.BlobCacheBytes > 0 {
 		db.cache = newBlobCache(opts.BlobCacheBytes)
@@ -147,79 +222,19 @@ func Open(opts Options) (*DB, error) {
 	if err := db.recover(); err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(filepath.Join(opts.Dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("blobdb: open wal: %w", err)
-	}
-	db.wal = wal
 	if opts.GroupCommit {
-		db.gc = startGroupCommitter(db)
+		for _, s := range db.shards {
+			s.gc = startGroupCommitter(s)
+		}
+	}
+	if opts.AutoCompact && db.sharded {
+		every := opts.CompactEvery
+		if every <= 0 {
+			every = DefaultCompactEvery
+		}
+		db.comp = startCompactor(db, every)
 	}
 	return db, nil
-}
-
-// recover loads the snapshot (if any) and replays the WAL. A torn final
-// WAL entry — the expected crash artifact — is tolerated and discarded;
-// corruption earlier in the log is reported.
-func (db *DB) recover() error {
-	snap := filepath.Join(db.dir, snapshotName)
-	if f, err := os.Open(snap); err == nil {
-		err = db.replay(f, true)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%w: snapshot: %v", ErrCorrupt, err)
-		}
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("blobdb: open snapshot: %w", err)
-	}
-	wal := filepath.Join(db.dir, walName)
-	if f, err := os.Open(wal); err == nil {
-		err = db.replay(f, false)
-		f.Close()
-		if err != nil {
-			return fmt.Errorf("%w: wal: %v", ErrCorrupt, err)
-		}
-	} else if !errors.Is(err, os.ErrNotExist) {
-		return fmt.Errorf("blobdb: open wal: %w", err)
-	}
-	return nil
-}
-
-// replay applies entries from r. strict controls whether a torn tail is
-// an error (snapshots are written atomically, so yes; WALs may tear).
-func (db *DB) replay(r io.Reader, strict bool) error {
-	br := newByteReader(r)
-	for {
-		entry, err := readEntry(br)
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if errors.Is(err, io.ErrUnexpectedEOF) && !strict {
-			return nil // torn tail after a crash: drop it
-		}
-		if err != nil {
-			return err
-		}
-		db.apply(entry)
-	}
-}
-
-func (db *DB) apply(e *walEntry) {
-	t := db.tables[e.Table]
-	if t == nil {
-		t = make(map[string]*row)
-		db.tables[e.Table] = t
-	}
-	switch e.Op {
-	case "put":
-		db.genSeq++
-		t[e.Key] = &row{meta: e.Meta, comp: e.Comp, rawSize: e.RawSize, storedAt: e.StoredAt, gen: db.genSeq}
-	case "delete":
-		delete(t, e.Key)
-	}
-	if db.cache != nil {
-		db.cache.invalidate(e.Table + "\x00" + e.Key)
-	}
 }
 
 // Table returns a handle for the named table (created on first write).
@@ -227,57 +242,104 @@ func (db *DB) Table(name string) *Table { return &Table{db: db, name: name} }
 
 // TableNames lists tables with at least one row, sorted.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	var out []string
-	for name, rows := range db.tables {
-		if len(rows) > 0 {
-			out = append(out, name)
+	seen := map[string]bool{}
+	for _, s := range db.shards {
+		s.mu.RLock()
+		for name, rows := range s.tables {
+			if len(rows) > 0 {
+				seen[name] = true
+			}
 		}
+		s.mu.RUnlock()
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Close flushes and closes the WAL. Further use returns ErrClosed.
+// Close stops the compactor, flushes the group committers, and closes
+// every WAL. The first error encountered is returned and the database is
+// left poisoned either way: further use returns ErrClosed, and a second
+// Close returns nil.
 func (db *DB) Close() error {
-	if db.gc != nil {
-		db.gc.shutdown() // flushes everything queued before the WAL closes
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.closeMu.Lock()
+	defer db.closeMu.Unlock()
 	if db.closed {
 		return nil
 	}
 	db.closed = true
-	if db.wal != nil {
-		if err := db.wal.Sync(); err != nil {
-			db.wal.Close()
-			return err
-		}
-		return db.wal.Close()
+	if db.comp != nil {
+		db.comp.halt() // waits for any in-flight sweep
 	}
-	return nil
+	for _, s := range db.shards {
+		if s.gc != nil {
+			s.gc.shutdown() // flushes everything queued before the WAL closes
+		}
+	}
+	var first error
+	for _, s := range db.shards {
+		s.mu.Lock()
+		s.closed = true
+		if s.wal != nil {
+			if err := s.wal.Sync(); err != nil && first == nil {
+				first = err
+			}
+			if err := s.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+			s.wal = nil
+		}
+		s.mu.Unlock()
+	}
+	return first
 }
 
-// Compact writes a snapshot of current state and truncates the WAL. The
-// snapshot is written to a temp file and renamed, so a crash mid-compact
-// leaves the previous snapshot+WAL intact.
+// Compact folds current state into snapshots and truncates the logs.
+// Stock layout: one snapshot written to a temp file and renamed (with a
+// directory fsync so the rename survives a crash), then the WAL is
+// truncated — all under the database lock, stopping the world. Sharded
+// layout: each shard is compacted in turn with only the seal and the
+// state copy under that shard's lock, so the other shards keep serving.
 func (db *DB) Compact() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	if db.sharded {
+		for _, s := range db.shards {
+			if _, err := s.compactSnapshot(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	s := db.shards[0]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return ErrClosed
 	}
 	if db.dir == "" {
 		return nil
 	}
-	tmp, err := os.CreateTemp(db.dir, "snapshot-*")
+	sp := db.tracer.StartRoot("db.compact")
+	sp.Set("layout", "stock")
+	err := db.compactStockLocked(s)
+	if err != nil {
+		sp.Error(err.Error())
+	}
+	sp.End()
+	return err
+}
+
+// compactStockLocked is the legacy stop-the-world compaction; the caller
+// holds shard 0's write lock.
+func (db *DB) compactStockLocked(s *shard) error {
+	tmp, err := os.CreateTemp(db.dir, "snaptmp-*")
 	if err != nil {
 		return err
 	}
 	defer os.Remove(tmp.Name())
-	for table, rows := range db.tables {
+	for table, rows := range s.tables {
 		for key, r := range rows {
 			e := &walEntry{Op: "put", Table: table, Key: key, Meta: r.meta,
 				Comp: r.comp, RawSize: r.rawSize, StoredAt: r.storedAt}
@@ -297,15 +359,22 @@ func (db *DB) Compact() error {
 	if err := os.Rename(tmp.Name(), filepath.Join(db.dir, snapshotName)); err != nil {
 		return err
 	}
+	// The rename is only durable once the directory entry is: without
+	// this fsync a crash here could roll back to a snapshot that the
+	// about-to-be-truncated WAL no longer covers.
+	if err := fsyncDir(db.dir); err != nil {
+		return err
+	}
 	// Truncate the WAL now that the snapshot covers everything.
-	if db.wal != nil {
-		db.wal.Close()
+	if s.wal != nil {
+		s.wal.Close()
 	}
 	wal, err := os.OpenFile(filepath.Join(db.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	db.wal = wal
+	s.wal = newWALFile(wal)
+	s.segBytes = 0
 	return nil
 }
 
@@ -351,61 +420,37 @@ func (t *Table) Put(key string, meta map[string]string, blob []byte) error {
 		Op: "put", Table: t.name, Key: key, Meta: metaCopy,
 		Comp: cbuf.Bytes(), RawSize: len(blob), StoredAt: db.clock.Now(),
 	}
-	if db.gc != nil {
-		return db.gc.commit(entry)
+	s := db.shardFor(t.name, key)
+	if s.gc != nil {
+		return s.gc.commit(entry)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return ErrClosed
 	}
-	if err := db.log(entry); err != nil {
+	if err := s.log(entry); err != nil {
 		return err
 	}
-	db.apply(entry)
-	return nil
-}
-
-// log appends an entry to the WAL (if persistent) and accounts the disk
-// write either way — the paper's DB writes hit disk whether or not our
-// test process does.
-func (db *DB) log(e *walEntry) error {
-	var n int
-	if db.wal != nil {
-		buf := walBufPool.Get().(*bytes.Buffer)
-		buf.Reset()
-		if err := writeEntry(buf, e); err != nil {
-			walBufPool.Put(buf)
-			return err
-		}
-		n = buf.Len()
-		_, err := db.wal.Write(buf.Bytes())
-		walBufPool.Put(buf)
-		if err != nil {
-			return err
-		}
-		db.walWrites++
-	} else {
-		n = len(e.Comp) + 128
-	}
-	db.probe.DiskWrite(n)
+	s.apply(entry, s.seg)
 	return nil
 }
 
 // Get returns the record with the blob decompressed. The disk read of the
 // compressed bytes and the decompression CPU are accounted.
 func (t *Table) Get(key string) (*Record, error) {
-	t.db.mu.RLock()
-	if t.db.closed {
-		t.db.mu.RUnlock()
+	db := t.db
+	s := db.shardFor(t.name, key)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
-	r, ok := t.db.tables[t.name][key]
-	t.db.mu.RUnlock()
+	r, ok := s.tables[t.name][key]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
 	}
-	db := t.db
 	meta := make(map[string]string, len(r.meta))
 	for k, v := range r.meta {
 		meta[k] = v
@@ -448,13 +493,14 @@ func (t *Table) Get(key string) (*Record, error) {
 // compressed bytes is accounted — this is the cheap path the
 // wire-compression staging mode uses to ship the stored stream as-is.
 func (t *Table) GetCompressed(key string) (comp []byte, rawSize int, err error) {
-	t.db.mu.RLock()
-	if t.db.closed {
-		t.db.mu.RUnlock()
+	s := t.db.shardFor(t.name, key)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
 		return nil, 0, ErrClosed
 	}
-	r, ok := t.db.tables[t.name][key]
-	t.db.mu.RUnlock()
+	r, ok := s.tables[t.name][key]
+	s.mu.RUnlock()
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
 	}
@@ -473,22 +519,71 @@ func (db *DB) BlobCacheStats() (hits, misses, bytes int64) {
 	return db.cache.stats()
 }
 
-// WALStats reports WAL write and fsync call counts. With group commit
-// enabled, writes stay below the mutation count under concurrency.
+// WALStats reports WAL write and fsync call counts, summed across
+// shards. With group commit enabled, writes stay below the mutation
+// count under concurrency.
 func (db *DB) WALStats() (writes, syncs int64) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.walWrites, db.walSyncs
+	for _, s := range db.shards {
+		s.mu.RLock()
+		writes += s.walWrites
+		syncs += s.walSyncs
+		s.mu.RUnlock()
+	}
+	return writes, syncs
+}
+
+// ShardStats is one shard's storage counters.
+type ShardStats struct {
+	Shard       int   `json:"shard"`
+	Segments    int   `json:"segments"`
+	Bytes       int64 `json:"bytes"`
+	LiveEntries int64 `json:"live_entries"`
+	DeadEntries int64 `json:"dead_entries"`
+	WALWrites   int64 `json:"wal_writes"`
+	WALSyncs    int64 `json:"wal_syncs"`
+}
+
+// Stats is the storage engine's monitoring surface.
+type Stats struct {
+	Shards    int            `json:"shards"`
+	Sharded   bool           `json:"sharded"`
+	WALWrites int64          `json:"wal_writes"`
+	WALSyncs  int64          `json:"wal_syncs"`
+	Segments  int            `json:"segments"`
+	Bytes     int64          `json:"bytes"`
+	PerShard  []ShardStats   `json:"per_shard,omitempty"`
+	Compactor CompactorStats `json:"compactor"`
+}
+
+// Stats reports per-shard WAL/segment counters and the background
+// compactor's totals.
+func (db *DB) Stats() Stats {
+	st := Stats{Shards: len(db.shards), Sharded: db.sharded}
+	for _, s := range db.shards {
+		ss := s.stats()
+		st.WALWrites += ss.WALWrites
+		st.WALSyncs += ss.WALSyncs
+		st.Segments += ss.Segments
+		st.Bytes += ss.Bytes
+		if db.sharded {
+			st.PerShard = append(st.PerShard, ss)
+		}
+	}
+	if db.comp != nil {
+		st.Compactor = db.comp.snapshot()
+	}
+	return st
 }
 
 // Stat returns metadata without touching the blob (no decompression).
 func (t *Table) Stat(key string) (*Record, error) {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
-	if t.db.closed {
+	s := t.db.shardFor(t.name, key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
 		return nil, ErrClosed
 	}
-	r, ok := t.db.tables[t.name][key]
+	r, ok := s.tables[t.name][key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
 	}
@@ -505,38 +600,40 @@ func (t *Table) Stat(key string) (*Record, error) {
 // Delete removes a record.
 func (t *Table) Delete(key string) error {
 	entry := &walEntry{Op: "delete", Table: t.name, Key: key}
-	if t.db.gc != nil {
-		t.db.mu.RLock()
-		_, ok := t.db.tables[t.name][key]
-		t.db.mu.RUnlock()
+	s := t.db.shardFor(t.name, key)
+	if s.gc != nil {
+		s.mu.RLock()
+		_, ok := s.tables[t.name][key]
+		s.mu.RUnlock()
 		if !ok {
 			return fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
 		}
-		return t.db.gc.commit(entry)
+		return s.gc.commit(entry)
 	}
-	t.db.mu.Lock()
-	defer t.db.mu.Unlock()
-	if t.db.closed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
 		return ErrClosed
 	}
-	if _, ok := t.db.tables[t.name][key]; !ok {
+	if _, ok := s.tables[t.name][key]; !ok {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, t.name, key)
 	}
-	if err := t.db.log(entry); err != nil {
+	if err := s.log(entry); err != nil {
 		return err
 	}
-	t.db.apply(entry)
+	s.apply(entry, s.seg)
 	return nil
 }
 
 // Keys lists the table's keys, sorted.
 func (t *Table) Keys() []string {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
-	rows := t.db.tables[t.name]
-	out := make([]string, 0, len(rows))
-	for k := range rows {
-		out = append(out, k)
+	var out []string
+	for _, s := range t.db.shards {
+		s.mu.RLock()
+		for k := range s.tables[t.name] {
+			out = append(out, k)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -544,9 +641,59 @@ func (t *Table) Keys() []string {
 
 // Len reports the number of rows.
 func (t *Table) Len() int {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
-	return len(t.db.tables[t.name])
+	n := 0
+	for _, s := range t.db.shards {
+		s.mu.RLock()
+		n += len(s.tables[t.name])
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// shardFor routes a key to its shard: FNV-1a over table and key, with a
+// separator so ("ab","c") and ("a","bc") differ. Stable across restarts
+// — the on-disk grouping depends on it.
+func (db *DB) shardFor(table, key string) *shard {
+	if len(db.shards) == 1 {
+		return db.shards[0]
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(table); i++ {
+		h ^= uint32(table[i])
+		h *= 16777619
+	}
+	h *= 16777619 // separator byte 0
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return db.shards[h%uint32(len(db.shards))]
+}
+
+// --- fault-injection seams ---
+
+// walFile is what a shard writes its log through; production code wraps
+// *os.File, tests swap newWALFile to inject write/sync/close faults.
+type walFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+var newWALFile = func(f *os.File) walFile { return f }
+
+// fsyncDir makes a directory-entry change (rename, create, unlink)
+// durable. A package variable so tests can count calls or inject faults.
+var fsyncDir = func(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // --- codec pools ---
@@ -592,29 +739,28 @@ func writeEntry(w io.Writer, e *walEntry) error {
 	return err
 }
 
-type byteReader struct{ r io.Reader }
-
-func newByteReader(r io.Reader) *byteReader { return &byteReader{r: r} }
-
-func readEntry(br *byteReader) (*walEntry, error) {
+// readEntry decodes one entry and reports its encoded size. Short reads
+// surface as io.ErrUnexpectedEOF (a torn tail); bad JSON or an absurd
+// length surface as ErrCorrupt.
+func readEntry(r io.Reader) (*walEntry, int64, error) {
 	var lenBuf [4]byte
-	if _, err := io.ReadFull(br.r, lenBuf[:]); err != nil {
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return nil, io.ErrUnexpectedEOF
+			return nil, 0, io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return nil, 0, err
 	}
 	n := binary.BigEndian.Uint32(lenBuf[:])
 	if n > MaxBlobBytes*2 {
-		return nil, fmt.Errorf("%w: entry of %d bytes", ErrCorrupt, n)
+		return nil, 0, fmt.Errorf("%w: entry of %d bytes", ErrCorrupt, n)
 	}
 	buf := make([]byte, n)
-	if _, err := io.ReadFull(br.r, buf); err != nil {
-		return nil, io.ErrUnexpectedEOF
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, 0, io.ErrUnexpectedEOF
 	}
 	var e walEntry
 	if err := json.Unmarshal(buf, &e); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		return nil, 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
-	return &e, nil
+	return &e, int64(4 + n), nil
 }

@@ -1,0 +1,238 @@
+package blobdb
+
+import (
+	"errors"
+	"os"
+	"sync"
+	"testing"
+)
+
+// faultFile wraps a real WAL file and injects errors on demand.
+type faultFile struct {
+	f     *os.File
+	fault *faultPlan
+}
+
+// faultPlan is shared by every file the plan wraps; tests flip the error
+// fields between operations.
+type faultPlan struct {
+	mu        sync.Mutex
+	syncErr   error
+	closeErr  error
+	syncCalls int
+}
+
+func (p *faultPlan) set(syncErr, closeErr error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.syncErr, p.closeErr = syncErr, closeErr
+}
+
+func (ff *faultFile) Write(b []byte) (int, error) { return ff.f.Write(b) }
+
+func (ff *faultFile) Sync() error {
+	ff.fault.mu.Lock()
+	err := ff.fault.syncErr
+	ff.fault.syncCalls++
+	ff.fault.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	ff.fault.mu.Lock()
+	err := ff.fault.closeErr
+	ff.fault.mu.Unlock()
+	cerr := ff.f.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// installFaultPlan reroutes newWALFile through a faultFile for the
+// duration of the test.
+func installFaultPlan(t *testing.T) *faultPlan {
+	t.Helper()
+	plan := &faultPlan{}
+	prev := newWALFile
+	newWALFile = func(f *os.File) walFile { return &faultFile{f: f, fault: plan} }
+	t.Cleanup(func() { newWALFile = prev })
+	return plan
+}
+
+// installFsyncDirCounter reroutes fsyncDir through a counter with an
+// injectable error.
+type dirFsyncPlan struct {
+	mu    sync.Mutex
+	calls int
+	err   error
+}
+
+func installFsyncDirCounter(t *testing.T) *dirFsyncPlan {
+	t.Helper()
+	plan := &dirFsyncPlan{}
+	prev := fsyncDir
+	fsyncDir = func(dir string) error {
+		plan.mu.Lock()
+		plan.calls++
+		err := plan.err
+		plan.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return prev(dir)
+	}
+	t.Cleanup(func() { fsyncDir = prev })
+	return plan
+}
+
+func (p *dirFsyncPlan) count() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.calls
+}
+
+// TestCompactFsyncsDirectory pins the satellite bugfix: stock Compact
+// must fsync the directory after the snapshot rename, and must surface
+// an injected directory-fsync failure instead of truncating the WAL on
+// top of a rename that may not be durable.
+func TestCompactFsyncsDirectory(t *testing.T) {
+	plan := installFsyncDirCounter(t)
+	db, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Table("t").Put("k", nil, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	before := plan.count()
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if plan.count() <= before {
+		t.Fatal("Compact did not fsync the directory after its rename")
+	}
+	boom := errors.New("dir fsync boom")
+	plan.mu.Lock()
+	plan.err = boom
+	plan.mu.Unlock()
+	if err := db.Compact(); !errors.Is(err, boom) {
+		t.Fatalf("Compact error = %v, want injected %v", err, boom)
+	}
+	plan.mu.Lock()
+	plan.err = nil
+	plan.mu.Unlock()
+	// The failed compact must leave the store serving and durable.
+	if err := db.Table("t").Put("k2", nil, []byte("v2")); err != nil {
+		t.Fatalf("put after failed compact: %v", err)
+	}
+}
+
+// TestSegmentRollFsyncsDirectory checks the sharded counterpart: sealing
+// a segment fsyncs the directory so the new segment file's existence
+// survives a crash.
+func TestSegmentRollFsyncsDirectory(t *testing.T) {
+	plan := installFsyncDirCounter(t)
+	db, err := Open(Options{Dir: t.TempDir(), WALShards: 2, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tab := db.Table("t")
+	if err := tab.Put("a", nil, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	before := plan.count()
+	// SegmentBytes 1: the next put to the same shard must roll first.
+	if err := tab.Put("a", nil, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if plan.count() <= before {
+		t.Fatal("segment roll did not fsync the directory")
+	}
+}
+
+// TestCloseSyncErrorPoisons pins the shutdown satellite: a failing WAL
+// Sync at Close must propagate (first error wins over the follow-up
+// Close) and leave the database poisoned — ErrClosed everywhere, nil on
+// a second Close.
+func TestCloseSyncErrorPoisons(t *testing.T) {
+	plan := installFaultPlan(t)
+	db, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := db.Table("t")
+	if err := tab.Put("k", nil, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	syncBoom := errors.New("sync boom")
+	closeBoom := errors.New("close boom")
+	plan.set(syncBoom, closeBoom)
+	if err := db.Close(); !errors.Is(err, syncBoom) {
+		t.Fatalf("Close = %v, want first error %v", err, syncBoom)
+	}
+	if err := tab.Put("k2", nil, []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after failed Close = %v, want ErrClosed", err)
+	}
+	if _, err := tab.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after failed Close = %v, want ErrClosed", err)
+	}
+	if err := db.Compact(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Compact after failed Close = %v, want ErrClosed", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+// TestCloseCloseErrorPropagates: when Sync succeeds but the file Close
+// fails, that error surfaces too.
+func TestCloseCloseErrorPropagates(t *testing.T) {
+	plan := installFaultPlan(t)
+	db, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Table("t").Put("k", nil, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	closeBoom := errors.New("close boom")
+	plan.set(nil, closeBoom)
+	if err := db.Close(); !errors.Is(err, closeBoom) {
+		t.Fatalf("Close = %v, want %v", err, closeBoom)
+	}
+}
+
+// TestCloseSyncErrorPoisonsSharded: the first failing shard's error wins
+// and every shard ends up poisoned.
+func TestCloseSyncErrorPoisonsSharded(t *testing.T) {
+	plan := installFaultPlan(t)
+	db, err := Open(Options{Dir: t.TempDir(), WALShards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := db.Table("t")
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		if err := tab.Put(k, nil, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncBoom := errors.New("sync boom")
+	plan.set(syncBoom, nil)
+	if err := db.Close(); !errors.Is(err, syncBoom) {
+		t.Fatalf("Close = %v, want %v", err, syncBoom)
+	}
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		if err := tab.Put(k, nil, []byte("w")); !errors.Is(err, ErrClosed) {
+			t.Fatalf("Put(%s) after failed Close = %v, want ErrClosed", k, err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}

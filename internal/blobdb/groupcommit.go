@@ -14,8 +14,11 @@ import (
 // Compared with the stock path (one unsynced write per mutation under
 // the database lock), group commit both amortises the flush across the
 // batch and upgrades durability: an acknowledged Put survives a crash.
+//
+// Each committer serves one shard: with WALShards >= 2 there are N of
+// them, so batches on different shards form and flush in parallel.
 type groupCommitter struct {
-	db   *DB
+	s    *shard
 	ch   chan *commitReq
 	stop chan struct{}
 	done chan struct{}
@@ -27,9 +30,9 @@ type commitReq struct {
 	errc  chan error
 }
 
-func startGroupCommitter(db *DB) *groupCommitter {
+func startGroupCommitter(s *shard) *groupCommitter {
 	g := &groupCommitter{
-		db:   db,
+		s:    s,
 		ch:   make(chan *commitReq, 256),
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
@@ -104,7 +107,7 @@ func (g *groupCommitter) run() {
 // flush makes one WAL append + fsync for the whole batch, then applies
 // the entries in batch order and releases the waiters.
 func (g *groupCommitter) flush(batch []*commitReq) {
-	db := g.db
+	s := g.s
 	buf := walBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	sizes := make([]int, len(batch))
@@ -118,19 +121,24 @@ func (g *groupCommitter) flush(batch []*commitReq) {
 		sizes[i] = buf.Len() - prev
 		prev = buf.Len()
 	}
-	db.mu.Lock()
+	s.mu.Lock()
 	var werr error
 	switch {
-	case db.closed:
+	case s.closed:
 		werr = ErrClosed
-	case db.wal != nil && buf.Len() > 0:
-		if _, err := db.wal.Write(buf.Bytes()); err != nil {
+	case s.wal != nil && buf.Len() > 0:
+		if err := s.maybeRoll(); err != nil {
 			werr = err
-		} else if err := db.wal.Sync(); err != nil {
+			break
+		}
+		if _, err := s.wal.Write(buf.Bytes()); err != nil {
+			werr = err
+		} else if err := s.wal.Sync(); err != nil {
 			werr = err
 		} else {
-			db.walWrites++
-			db.walSyncs++
+			s.walWrites++
+			s.walSyncs++
+			s.noteWritten(int64(buf.Len()))
 		}
 	}
 	for i, r := range batch {
@@ -138,11 +146,11 @@ func (g *groupCommitter) flush(batch []*commitReq) {
 			errs[i] = werr
 		}
 		if errs[i] == nil {
-			db.apply(r.entry)
-			db.probe.DiskWrite(sizes[i])
+			s.apply(r.entry, s.seg)
+			s.db.probe.DiskWrite(sizes[i])
 		}
 	}
-	db.mu.Unlock()
+	s.mu.Unlock()
 	walBufPool.Put(buf)
 	for i, r := range batch {
 		r.errc <- errs[i]

@@ -1,0 +1,555 @@
+package blobdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// layoutManifest declares a sharded directory. Its presence is the
+// commit point for layout migrations: when it exists the sharded files
+// are authoritative and any legacy wal.log/snapshot.db is stale; when it
+// is absent the directory is a stock layout and any wal-<s>-<seg>.log /
+// snapshot-<s>.db files are leftovers of a migration that never
+// committed.
+type layoutManifest struct {
+	Shards int `json:"shards"`
+}
+
+// recover loads whatever layout the directory holds into the configured
+// shard count, migrating the files in place when the counts differ, and
+// leaves every shard with an open live WAL.
+func (db *DB) recover() error {
+	sp := db.tracer.StartRoot("db.replay")
+	sp.SetInt("shards", int64(len(db.shards)))
+	err := db.recoverLayout(sp)
+	if err != nil {
+		sp.Error(err.Error())
+	}
+	sp.End()
+	return err
+}
+
+func (db *DB) recoverLayout(sp *trace.Span) error {
+	db.cleanTempFiles()
+	have, err := db.readManifest()
+	if err != nil {
+		return err
+	}
+	want := len(db.shards)
+	if have != want {
+		sp.Set("migrate", fmt.Sprintf("%d->%d", have, want))
+		return db.migrate(have)
+	}
+	if !db.sharded {
+		n, err := db.shards[0].recoverStock()
+		sp.SetInt("entries", n)
+		return err
+	}
+	// Sharded, matching count: replay the shards in parallel — each one
+	// reads only its own snapshot and segments.
+	var wg sync.WaitGroup
+	errs := make([]error, len(db.shards))
+	counts := make([]int64, len(db.shards))
+	for i, s := range db.shards {
+		wg.Add(1)
+		go func(i int, s *shard) {
+			defer wg.Done()
+			counts[i], errs[i] = s.recoverSharded()
+		}(i, s)
+	}
+	wg.Wait()
+	var total int64
+	for i, err := range errs {
+		if err != nil {
+			return err
+		}
+		total += counts[i]
+	}
+	sp.SetInt("entries", total)
+	// A sharded->stock migration that crashed after writing its full
+	// legacy snapshot but before removing the manifest leaves stale stock
+	// files behind; the manifest said this layout wins.
+	return db.removeStockFiles()
+}
+
+func (db *DB) readManifest() (int, error) {
+	raw, err := os.ReadFile(filepath.Join(db.dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 1, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("blobdb: read manifest: %w", err)
+	}
+	var m layoutManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, fmt.Errorf("%w: manifest: %v", ErrCorrupt, err)
+	}
+	if m.Shards < 2 {
+		return 0, fmt.Errorf("%w: manifest shard count %d", ErrCorrupt, m.Shards)
+	}
+	return m.Shards, nil
+}
+
+func (db *DB) writeManifest() error {
+	tmp, err := os.CreateTemp(db.dir, "snaptmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	raw, _ := json.Marshal(layoutManifest{Shards: len(db.shards)})
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(db.dir, manifestName)); err != nil {
+		return err
+	}
+	return fsyncDir(db.dir)
+}
+
+// recoverStock replays the legacy snapshot + single WAL into shard 0 and
+// opens the WAL for appending. A torn final WAL entry — the expected
+// crash artifact — is truncated away, so post-recovery appends continue
+// a clean log instead of burying garbage mid-file; corruption earlier in
+// the log is reported.
+func (s *shard) recoverStock() (int64, error) {
+	db := s.db
+	// Leftover sharded files from a migration that crashed before its
+	// manifest landed: this directory is authoritatively stock.
+	if err := db.removeShardedFiles(); err != nil {
+		return 0, err
+	}
+	var entries int64
+	apply := func(e *walEntry) {
+		entries++
+		s.apply(e, -1)
+	}
+	if err := replayPath(filepath.Join(db.dir, snapshotName), true, "snapshot", apply); err != nil {
+		return entries, err
+	}
+	walPath := filepath.Join(db.dir, walName)
+	if f, err := os.Open(walPath); err == nil {
+		_, good, torn, rerr := replayReader(f, false, apply)
+		f.Close()
+		if rerr != nil {
+			return entries, fmt.Errorf("%w: wal: %v", ErrCorrupt, rerr)
+		}
+		if torn {
+			if err := os.Truncate(walPath, good); err != nil {
+				return entries, fmt.Errorf("blobdb: truncate torn wal: %w", err)
+			}
+		}
+		s.segBytes = good
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return entries, fmt.Errorf("blobdb: open wal: %w", err)
+	}
+	wal, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return entries, fmt.Errorf("blobdb: open wal: %w", err)
+	}
+	s.wal = newWALFile(wal)
+	return entries, nil
+}
+
+// recoverSharded replays one shard's snapshot and segments, rebuilds its
+// per-segment liveness counts, truncates torn tails, and opens the
+// highest segment for appending. Segments below the snapshot's floor are
+// superseded leftovers (compaction unlinks them lazily) and are removed.
+func (s *shard) recoverSharded() (int64, error) {
+	db := s.db
+	s.segs = make(map[int]*segMeta)
+	s.tombs = make(map[string]int)
+	var entries int64
+	floor := 0
+	snapApply := func(e *walEntry) {
+		if e.Op == opFloor {
+			floor = e.RawSize
+			return
+		}
+		entries++
+		s.apply(e, -1)
+	}
+	if err := replayPath(filepath.Join(db.dir, shardSnapshotFile(s.idx)), true, "snapshot", snapApply); err != nil {
+		return entries, err
+	}
+	segList, err := listSegments(db.dir, s.idx)
+	if err != nil {
+		return entries, err
+	}
+	maxSeg := -1
+	for _, seg := range segList {
+		path := filepath.Join(db.dir, segmentFile(s.idx, seg))
+		if seg < floor {
+			if err := os.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+				return entries, err
+			}
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return entries, fmt.Errorf("blobdb: open segment: %w", err)
+		}
+		_, good, torn, rerr := replayReader(f, false, func(e *walEntry) {
+			entries++
+			s.apply(e, seg)
+		})
+		f.Close()
+		if rerr != nil {
+			return entries, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), rerr)
+		}
+		if torn {
+			// One torn tail per segment is tolerated; truncating keeps the
+			// file consistent with what replay consumed.
+			if err := os.Truncate(path, good); err != nil {
+				return entries, fmt.Errorf("blobdb: truncate torn segment: %w", err)
+			}
+		}
+		m := s.segMeta(seg)
+		m.bytes = good
+		maxSeg = seg
+	}
+	if maxSeg < 0 {
+		s.seg = floor
+	} else {
+		s.seg = maxSeg
+	}
+	live := s.segMeta(s.seg)
+	for i, m := range s.segs {
+		m.sealed = i != s.seg
+	}
+	s.segBytes = live.bytes
+	f, err := os.OpenFile(filepath.Join(db.dir, segmentFile(s.idx, s.seg)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return entries, fmt.Errorf("blobdb: open segment: %w", err)
+	}
+	s.wal = newWALFile(f)
+	return entries, nil
+}
+
+// migrate rewrites the directory from a have-shard layout into the
+// configured one. Whole-file snapshots are written and made durable
+// before anything old is unlinked; the manifest create/remove is the
+// atomic flip. Per-key entry ordering survives any regrouping because a
+// key's entries all live in one stream of the old layout.
+func (db *DB) migrate(have int) error {
+	want := len(db.shards)
+	apply := func(e *walEntry) {
+		if e.Op == opFloor {
+			return
+		}
+		db.shardFor(e.Table, e.Key).apply(e, -1)
+	}
+	// 1. Replay the old layout into the new in-memory partitioning.
+	if have == 1 {
+		if err := replayPath(filepath.Join(db.dir, snapshotName), true, "snapshot", apply); err != nil {
+			return err
+		}
+		if err := replayPath(filepath.Join(db.dir, walName), false, "wal", apply); err != nil {
+			return err
+		}
+	} else {
+		for i := 0; i < have; i++ {
+			floor := 0
+			if err := replayPath(filepath.Join(db.dir, shardSnapshotFile(i)), true, "snapshot", func(e *walEntry) {
+				if e.Op == opFloor {
+					floor = e.RawSize
+					return
+				}
+				apply(e)
+			}); err != nil {
+				return err
+			}
+			segList, err := listSegments(db.dir, i)
+			if err != nil {
+				return err
+			}
+			for _, seg := range segList {
+				if seg < floor {
+					continue
+				}
+				if err := replayPath(filepath.Join(db.dir, segmentFile(i, seg)), false, "segment", apply); err != nil {
+					return err
+				}
+			}
+		}
+		// 2. Collapse through the stock layout: one full snapshot, durable
+		// before the manifest flip makes it authoritative.
+		if err := db.writeStockSnapshot(); err != nil {
+			return err
+		}
+		if err := os.Remove(filepath.Join(db.dir, manifestName)); err != nil {
+			return err
+		}
+		if err := fsyncDir(db.dir); err != nil {
+			return err
+		}
+		if err := db.removeShardedFiles(); err != nil {
+			return err
+		}
+	}
+	if want == 1 {
+		// Collapse done: the stock snapshot covers everything; open an
+		// empty WAL (any old wal.log content was folded in and must not
+		// replay).
+		s := db.shards[0]
+		wal, err := os.OpenFile(filepath.Join(db.dir, walName), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("blobdb: open wal: %w", err)
+		}
+		s.wal = newWALFile(wal)
+		return fsyncDir(db.dir)
+	}
+	// 3. Expand stock -> sharded: per-shard snapshots, then the manifest
+	// flip, then the legacy files go.
+	if err := db.removeShardedFiles(); err != nil { // crashed earlier attempt
+		return err
+	}
+	for _, s := range db.shards {
+		if err := db.writeShardSnapshot(s); err != nil {
+			return err
+		}
+	}
+	if err := fsyncDir(db.dir); err != nil {
+		return err
+	}
+	if err := db.writeManifest(); err != nil {
+		return err
+	}
+	if err := db.removeStockFiles(); err != nil {
+		return err
+	}
+	for _, s := range db.shards {
+		s.segs = make(map[int]*segMeta)
+		s.tombs = make(map[string]int)
+		f, err := os.OpenFile(filepath.Join(db.dir, segmentFile(s.idx, 0)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("blobdb: open segment: %w", err)
+		}
+		s.seg = 0
+		s.segBytes = 0
+		s.segMeta(0)
+		s.wal = newWALFile(f)
+	}
+	return nil
+}
+
+// writeStockSnapshot writes every shard's state into one legacy
+// snapshot.db (temp + sync + rename + dir fsync).
+func (db *DB) writeStockSnapshot() error {
+	return db.writeSnapshotFile(snapshotName, -1, func(emit func(*walEntry) error) error {
+		for _, s := range db.shards {
+			if err := emitTables(s.tables, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func (db *DB) writeShardSnapshot(s *shard) error {
+	if shardLen(s) == 0 {
+		return nil // replay treats a missing snapshot as empty
+	}
+	return db.writeSnapshotFile(shardSnapshotFile(s.idx), -1, func(emit func(*walEntry) error) error {
+		return emitTables(s.tables, emit)
+	})
+}
+
+func shardLen(s *shard) int {
+	n := 0
+	for _, rows := range s.tables {
+		n += len(rows)
+	}
+	return n
+}
+
+func emitTables(tables map[string]map[string]*row, emit func(*walEntry) error) error {
+	for table, rows := range tables {
+		for key, r := range rows {
+			e := &walEntry{Op: "put", Table: table, Key: key, Meta: r.meta,
+				Comp: r.comp, RawSize: r.rawSize, StoredAt: r.storedAt}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSnapshotFile writes entries to a temp file, syncs, renames to
+// name, and fsyncs the directory. floor >= 0 prepends a floor entry.
+func (db *DB) writeSnapshotFile(name string, floor int, fill func(emit func(*walEntry) error) error) error {
+	tmp, err := os.CreateTemp(db.dir, "snaptmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if floor >= 0 {
+		if err := writeEntry(bw, &walEntry{Op: opFloor, RawSize: floor}); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := fill(func(e *walEntry) error { return writeEntry(bw, e) }); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(db.dir, name)); err != nil {
+		return err
+	}
+	return fsyncDir(db.dir)
+}
+
+// --- directory helpers ---
+
+// listSegments returns shard idx's segment indexes, ascending.
+func listSegments(dir string, idx int) ([]int, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, fmt.Sprintf("wal-%d-*.log", idx)))
+	if err != nil {
+		return nil, err
+	}
+	var segs []int
+	for _, m := range matches {
+		sh, seg, ok := parseSegmentName(filepath.Base(m))
+		if !ok || sh != idx {
+			return nil, fmt.Errorf("%w: unexpected wal file %s", ErrCorrupt, filepath.Base(m))
+		}
+		segs = append(segs, seg)
+	}
+	sort.Ints(segs)
+	return segs, nil
+}
+
+func parseSegmentName(name string) (shard, seg int, ok bool) {
+	var sh, sg int
+	n, err := fmt.Sscanf(name, "wal-%d-%d.log", &sh, &sg)
+	if err != nil || n != 2 {
+		return 0, 0, false
+	}
+	if name != segmentFile(sh, sg) && name != fmt.Sprintf("wal-%d-%d.log", sh, sg) {
+		return 0, 0, false
+	}
+	return sh, sg, true
+}
+
+func (db *DB) removeStockFiles() error {
+	for _, name := range []string{walName, snapshotName} {
+		if err := os.Remove(filepath.Join(db.dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return fsyncDir(db.dir)
+}
+
+// removeShardedFiles unlinks every wal-<s>-<seg>.log and snapshot-<s>.db
+// in the directory, whatever the shard count that produced them.
+func (db *DB) removeShardedFiles() error {
+	ents, err := os.ReadDir(db.dir)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, ent := range ents {
+		name := ent.Name()
+		if _, _, ok := parseSegmentName(name); ok {
+			if err := os.Remove(filepath.Join(db.dir, name)); err != nil {
+				return err
+			}
+			removed = true
+			continue
+		}
+		var idx int
+		if n, err := fmt.Sscanf(name, "snapshot-%d.db", &idx); err == nil && n == 1 && name == shardSnapshotFile(idx) {
+			if err := os.Remove(filepath.Join(db.dir, name)); err != nil {
+				return err
+			}
+			removed = true
+		}
+	}
+	if removed {
+		return fsyncDir(db.dir)
+	}
+	return nil
+}
+
+// cleanTempFiles drops snapshot temp files left by a crash mid-write.
+func (db *DB) cleanTempFiles() {
+	matches, _ := filepath.Glob(filepath.Join(db.dir, "snaptmp-*"))
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
+
+// --- replay ---
+
+// replayPath replays one file if it exists. strict files (snapshots,
+// written atomically) must not tear; tolerant ones may tear at the tail.
+func replayPath(path string, strict bool, kind string, apply func(*walEntry)) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("blobdb: open %s: %w", kind, err)
+	}
+	defer f.Close()
+	_, _, torn, rerr := replayReader(f, strict, apply)
+	if rerr != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, kind, rerr)
+	}
+	_ = torn
+	return nil
+}
+
+// replayReader applies entries from r. strict controls whether a torn
+// tail is an error; otherwise it is reported via torn, with good set to
+// the offset after the last whole entry.
+func replayReader(r io.Reader, strict bool, apply func(*walEntry)) (entries, good int64, torn bool, err error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	for {
+		e, n, rerr := readEntry(br)
+		if errors.Is(rerr, io.EOF) {
+			return entries, good, false, nil
+		}
+		if errors.Is(rerr, io.ErrUnexpectedEOF) {
+			if strict {
+				return entries, good, false, io.ErrUnexpectedEOF
+			}
+			return entries, good, true, nil
+		}
+		if rerr != nil {
+			return entries, good, false, rerr
+		}
+		apply(e)
+		entries++
+		good += n
+	}
+}

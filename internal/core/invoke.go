@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/blobdb"
 	"repro/internal/cyberaide"
 	"repro/internal/gridsim"
 	"repro/internal/jsdl"
@@ -823,6 +824,9 @@ func (o *OnServe) Invocations() []*Invocation {
 type Monitoring struct {
 	Services    []soap.ServiceStats `json:"services"`
 	Invocations map[string]int      `json:"invocations"`
+	// DB surfaces the blob store's WAL and compaction counters —
+	// per-shard when the sharded engine (blobdb.Options.WALShards) is on.
+	DB blobdb.Stats `json:"db"`
 }
 
 // Monitoring snapshots the middleware's counters. Tallies cover both the
@@ -832,6 +836,7 @@ func (o *OnServe) Monitoring() Monitoring {
 	m := Monitoring{
 		Services:    o.cfg.Container.Stats(),
 		Invocations: map[string]int{},
+		DB:          o.cfg.DB.Stats(),
 	}
 	o.mu.Lock()
 	for st, n := range o.termTallies {

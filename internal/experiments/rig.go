@@ -51,6 +51,12 @@ type Options struct {
 	StatsTTL       time.Duration
 	BlobCacheBytes int64
 	GroupCommit    bool
+	// WALShards / SegmentBytes / AutoCompact select the sharded, segmented
+	// storage engine and its background compactor (see blobdb.Options);
+	// zero values keep the stock single-WAL layout.
+	WALShards    int
+	SegmentBytes int64
+	AutoCompact  bool
 	// PollHub / PollHubShards select the sharded batched status collector
 	// (see core.Config); off keeps the paper's per-invocation poller.
 	PollHub       bool
@@ -212,6 +218,9 @@ func newRig(opts Options) (*rig, error) {
 		StatsTTL:           opts.StatsTTL,
 		BlobCacheBytes:     opts.BlobCacheBytes,
 		GroupCommit:        opts.GroupCommit,
+		WALShards:          opts.WALShards,
+		SegmentBytes:       opts.SegmentBytes,
+		AutoCompact:        opts.AutoCompact,
 		PollHub:            opts.PollHub,
 		PollHubShards:      opts.PollHubShards,
 		PushEvents:         opts.PushEvents,

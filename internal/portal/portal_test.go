@@ -537,7 +537,7 @@ func TestStatsSurfacesSubsystemCounters(t *testing.T) {
 	var doc map[string]json.RawMessage
 	json.NewDecoder(resp.Body).Decode(&doc)
 	resp.Body.Close()
-	for _, key := range []string{"invocations", "services", "collector", "submit", "stage", "placement", "trace"} {
+	for _, key := range []string{"invocations", "services", "collector", "submit", "stage", "placement", "trace", "db"} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("/api/stats missing %q: have %v", key, keys(doc))
 		}

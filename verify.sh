@@ -19,7 +19,10 @@ go test -race -short ./...
 # hub, and the push collector — event streams racing cancels, watchdog
 # kills, and the hub-fallback handover; the gridsim event bus fanning
 # out under concurrent publishers), the submission front-end (coalesced
-# staging, submit hub, batch RPCs), the WAL, the chunked staging data
+# staging, submit hub, batch RPCs), the WAL (sharded segmented layout:
+# the blobdb crash-recovery suites, every-byte truncation sweeps,
+# fault-injected close/fsync paths, and puts/gets racing the background
+# compactor and Close), the chunked staging data
 # plane (shared chunk stores, pipelined chunk PUTs), the shaped links
 # under it, the tracing subsystem (one collector shared by every
 # service, spans annotated from watchdog and poller concurrently,
