@@ -13,6 +13,7 @@
 //	experiments -placement        # data-aware placement ablation -> results/placement.json
 //	experiments -blobdb           # storage-engine ablation -> results/blobdb.json
 //	experiments -trace            # per-request span breakdown -> results/trace.json
+//	experiments -fleet            # consistent-hash fleet scale-out -> results/fleet.json
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		blobdbFlag  = flag.Bool("blobdb", false, "run the storage-engine sharding/compaction/replay ablation")
 		replayRecs  = flag.Int("replay-records", 1_000_000, "record count for the -blobdb cold-boot replay study")
 		traceFlag   = flag.Bool("trace", false, "run the traced small/large stock/all-knobs breakdown")
+		fleetFlag   = flag.Bool("fleet", false, "run the consistent-hash fleet scale-out ablation (1/4/16 appliances + kill-one failover)")
 		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
 		all         = flag.Bool("all", false, "run every experiment")
 		scale       = flag.Float64("scale", 200, "virtual-time dilation factor")
@@ -46,13 +48,13 @@ func main() {
 		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
 	)
 	flag.Parse()
-	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *placement, *blobdbFlag, *traceFlag, *baseline, *all, *scale, *outDir, *jobs, *replayRecs); err != nil {
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *placement, *blobdbFlag, *traceFlag, *fleetFlag, *baseline, *all, *scale, *outDir, *jobs, *replayRecs); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, placement, blobdbFlag, traceFlag, baseline, all bool, scale float64, outDir string, jobs, replayRecs int) error {
+func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, placement, blobdbFlag, traceFlag, fleetFlag, baseline, all bool, scale float64, outDir string, jobs, replayRecs int) error {
 	opts := experiments.Options{Scale: scale}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -271,6 +273,23 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		}
 		fmt.Printf("wrote %s\n\n", path)
 	}
+	if all || fleetFlag {
+		any = true
+		res, err := experiments.AblationFleet(opts, nil, 64)
+		if err != nil {
+			return fmt.Errorf("fleet: %w", err)
+		}
+		fmt.Print(res.Render())
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "fleet.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 	if all || baseline {
 		any = true
 		res, err := experiments.BaselineJSE(opts, 256)
@@ -281,7 +300,7 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		fmt.Println()
 	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -placement, -blobdb, -trace, -baseline or -all")
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -placement, -blobdb, -trace, -fleet, -baseline or -all")
 	}
 	return nil
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/appliance"
 	"repro/internal/core"
 	"repro/internal/cyberaide"
+	"repro/internal/gateway"
 	"repro/internal/trace"
 )
 
@@ -46,6 +47,7 @@ func main() {
 		walShards     = flag.Int("wal-shards", 0, "split the database across N sharded, segmented WALs (0 or 1: stock single-WAL layout; changing the count migrates the directory in place)")
 		segmentBytes  = flag.Int64("segment-bytes", 0, "roll a shard's live WAL segment past this size (0: 16 MiB default; needs -wal-shards >= 2)")
 		autoCompact   = flag.Bool("auto-compact", false, "retire dead WAL segments in the background instead of stop-the-world compaction (needs -wal-shards >= 2)")
+		fleet         = flag.Int("fleet", 0, "boot N appliances behind a consistent-hash gateway on -listen instead of one appliance (0: single appliance, stock wire behaviour)")
 		users         userList
 	)
 	flag.Var(&users, "user", "portal-user:myproxy-passphrase to register (repeatable)")
@@ -62,6 +64,7 @@ func main() {
 		walShards:     *walShards,
 		segmentBytes:  *segmentBytes,
 		autoCompact:   *autoCompact,
+		fleet:         *fleet,
 		users:         users,
 	}
 	if err := run(opts); err != nil {
@@ -82,6 +85,7 @@ type bootOptions struct {
 	walShards     int
 	segmentBytes  int64
 	autoCompact   bool
+	fleet         int
 	users         userList
 }
 
@@ -116,6 +120,9 @@ func run(opts bootOptions) error {
 		// The grid services live in another process (gridd), so the
 		// trace tree covers the appliance's side of the pipeline.
 		cfg.Trace = trace.NewCollector(0, 0)
+	}
+	if opts.fleet > 0 {
+		return runFleet(cfg, opts, users)
 	}
 	img, err := appliance.BuildImage(cfg)
 	if err != nil {
@@ -162,5 +169,45 @@ func run(opts bootOptions) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("\nshutting down")
+	return nil
+}
+
+// runFleet boots opts.fleet appliances behind one consistent-hash
+// gateway and serves the portal API on -listen.
+func runFleet(cfg appliance.Config, opts bootOptions, users userList) error {
+	ln, err := net.Listen("tcp", opts.listen)
+	if err != nil {
+		return err
+	}
+	gw, err := gateway.Boot(gateway.Config{
+		Fleet:     opts.fleet,
+		Appliance: cfg,
+	}, ln)
+	if err != nil {
+		return err
+	}
+	defer gw.Shutdown()
+
+	for _, u := range users {
+		name, pass, ok := strings.Cut(u, ":")
+		if !ok {
+			return fmt.Errorf("bad -user %q, want name:passphrase", u)
+		}
+		gw.RegisterUser(name, core.UserAuth{MyProxyUser: name, Passphrase: pass})
+		fmt.Printf("registered portal user %s on all shards\n", name)
+	}
+
+	fmt.Printf("Cyberaide onServe fleet gateway up (%d appliances)\n", opts.fleet)
+	fmt.Printf("  portal       %s/\n", gw.BaseURL)
+	fmt.Printf("  gateway      %s/gateway/stats\n", gw.BaseURL)
+	for i, app := range gw.Fleet() {
+		fmt.Printf("  shard-%d      %s/\n", i, app.BaseURL)
+	}
+	fmt.Println("press Ctrl-C to stop")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("\nshutting down fleet")
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/blobdb"
@@ -149,8 +150,9 @@ type Appliance struct {
 	// BaseURL is the appliance's public HTTP root.
 	BaseURL string
 
-	srv *http.Server
-	ln  net.Listener
+	srv          *http.Server
+	ln           net.Listener
+	shutdownOnce sync.Once
 }
 
 // Boot starts the appliance on ln; a nil ln listens on an ephemeral
@@ -270,11 +272,17 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 	}, nil
 }
 
-// Shutdown stops the HTTP server and closes the database.
+// Shutdown stops the HTTP server and closes the database. It is
+// idempotent: fleet supervisors (the gateway's Kill path and its final
+// Shutdown sweep) may both reach a crashed appliance.
 func (a *Appliance) Shutdown() error {
-	a.srv.Close()
-	a.ln.Close()
-	return a.DB.Close()
+	var err error
+	a.shutdownOnce.Do(func() {
+		a.srv.Close()
+		a.ln.Close()
+		err = a.DB.Close()
+	})
+	return err
 }
 
 // ServicesURL returns the SOAP container root URL.

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -602,7 +603,10 @@ func (o *OnServe) DeleteService(serviceName string) error {
 	return nil
 }
 
-// Services lists the generated services.
+// Services lists the generated services, sorted by service name. The
+// order is part of the API: fleet gateways merge listings from many
+// appliances and diff replicated registry views against authoritative
+// ones, which only works if every listing is deterministic.
 func (o *OnServe) Services() ([]ExecutableInfo, error) {
 	tab := o.cfg.DB.Table(ExecutablesTable)
 	var out []ExecutableInfo
@@ -616,6 +620,7 @@ func (o *OnServe) Services() ([]ExecutableInfo, error) {
 		}
 		out = append(out, *info)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ServiceName < out[j].ServiceName })
 	return out, nil
 }
 

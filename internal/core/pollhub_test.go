@@ -69,18 +69,22 @@ func TestPollHubSkipsUnchangedSnapshots(t *testing.T) {
 	}
 }
 
-// runBatchWorkload invokes n overlapping jobs and waits for all of them.
+// runBatchWorkload invokes n overlapping jobs and waits for all of
+// them. It reports failures with t.Error (not t.Fatal) so callers may
+// run it off the test goroutine.
 func runBatchWorkload(t *testing.T, f *fixture, n int) {
 	t.Helper()
 	if _, err := f.ons.UploadAndGenerate("alice", "batchy.gsh", "", nil,
 		[]byte("compute 30m\necho ok\n")); err != nil {
-		t.Fatal(err)
+		t.Error(err)
+		return
 	}
 	invs := make([]*Invocation, 0, n)
 	for i := 0; i < n; i++ {
 		inv, err := f.ons.Invoke("BatchyService", nil)
 		if err != nil {
-			t.Fatal(err)
+			t.Error(err)
+			return
 		}
 		invs = append(invs, inv)
 	}
@@ -88,10 +92,12 @@ func runBatchWorkload(t *testing.T, f *fixture, n int) {
 		select {
 		case <-inv.DoneChan():
 		case <-time.After(10 * time.Second):
-			t.Fatal("invocation stuck")
+			t.Error("invocation stuck")
+			return
 		}
 		if inv.State() != InvDone {
-			t.Fatalf("state %s: %s", inv.State(), inv.Message())
+			t.Errorf("state %s: %s", inv.State(), inv.Message())
+			return
 		}
 	}
 }
@@ -99,16 +105,29 @@ func runBatchWorkload(t *testing.T, f *fixture, n int) {
 func TestPollHubBatchesStatusRPCs(t *testing.T) {
 	// Same workload, stock poller vs single-shard hub: the hub needs one
 	// status round-trip per tick where the stock poller needs one per
-	// invocation per tick.
+	// invocation per tick. The two workloads run concurrently so both
+	// see the same real-time machine load — run back to back, a stall
+	// (full-suite -race scheduling) landing on only one phase starves
+	// its pollers of ticks and can invert the count comparison.
 	const n = 6
 	stock := newFixture(t, func(cfg *Config) { cfg.SessionCache = true })
-	runBatchWorkload(t, stock, n)
 	hub := newFixture(t, func(cfg *Config) {
 		cfg.SessionCache = true
 		cfg.PollHub = true
 		cfg.PollHubShards = 1
 	})
-	runBatchWorkload(t, hub, n)
+	var wg sync.WaitGroup
+	for _, f := range []*fixture{stock, hub} {
+		wg.Add(1)
+		go func(f *fixture) {
+			defer wg.Done()
+			runBatchWorkload(t, f, n)
+		}(f)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
 	sRPC := stock.ons.CollectorStats().StatusRPCs
 	hRPC := hub.ons.CollectorStats().StatusRPCs
 	if hRPC == 0 || hRPC >= sRPC {

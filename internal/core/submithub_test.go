@@ -23,13 +23,14 @@ import (
 )
 
 // newWANFixture wires an onServe over a single-site grid whose servers
-// answer across the paper's shaped WAN (~85 KB/s), at a moderate time
-// dilation so one staging transfer occupies tens of real milliseconds —
-// long enough that a concurrent burst reliably overlaps the in-flight
-// upload, which is what the coalescing tests need to be deterministic.
-func newWANFixture(t *testing.T, mutate func(*Config)) *fixture {
+// answer across the paper's shaped WAN (~85 KB/s), at a caller-chosen
+// time dilation so one staging transfer occupies tens of real
+// milliseconds — long enough that a concurrent burst reliably overlaps
+// the in-flight upload, which is what the coalescing tests need to be
+// deterministic.
+func newWANFixture(t *testing.T, scale float64, mutate func(*Config)) *fixture {
 	t.Helper()
-	clk := vtime.NewScaled(300)
+	clk := vtime.NewScaled(scale)
 	env, err := gridenv.Start(gridenv.Options{
 		Clock:   clk,
 		Sites:   []gridsim.SiteConfig{{Name: "siteA", Nodes: 2, CoresPerNode: 4}},
@@ -124,7 +125,7 @@ func stagingBurst(t *testing.T, f *fixture, n int) SubmitStats {
 }
 
 func TestColdBurstStagingStockUploadsPerInvocation(t *testing.T) {
-	f := newWANFixture(t, nil)
+	f := newWANFixture(t, 300, nil)
 	const n = 8
 	d := stagingBurst(t, f, n)
 	// Paper-faithful: every invocation pushes the full blob across the
@@ -138,12 +139,14 @@ func TestColdBurstStagingStockUploadsPerInvocation(t *testing.T) {
 }
 
 func TestColdBurstStagingCoalescedSingleUpload(t *testing.T) {
-	f := newWANFixture(t, func(cfg *Config) { cfg.CoalesceStaging = true })
+	// Scale 75 (not the stock test's 300): the leader upload's ~18
+	// virtual seconds span ~240 real ms, so even a burst goroutine the
+	// race detector stalls for ~100 ms still reaches stageExecutable
+	// while the flight is open and joins it — at 300 the ~60 ms window
+	// flaked under full-suite -race load.
+	f := newWANFixture(t, 75, func(cfg *Config) { cfg.CoalesceStaging = true })
 	const n = 8
 	d := stagingBurst(t, f, n)
-	// One WAN transfer for the whole burst: the ~18 virtual-second (tens
-	// of real ms) leader upload is in flight long before the remaining
-	// goroutines reach stageExecutable, so they all join its flight.
 	if d.Uploads != 1 {
 		t.Fatalf("coalesced burst made %d uploads, want exactly 1", d.Uploads)
 	}

@@ -1,0 +1,342 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/appliance"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/gridenv"
+	"repro/internal/gridsim"
+	"repro/internal/gsh"
+	"repro/internal/netsim"
+	"repro/internal/vtime"
+)
+
+// FleetSizes is the default scale-out grid for the fleet ablation.
+var FleetSizes = []int{1, 4, 16}
+
+// fleetPayloadKB sizes each service's executable: big enough that
+// staging it across one appliance's ~85 KB/s WAN uplink dominates, so
+// aggregate throughput is bounded by how many uplinks the fleet has.
+const fleetPayloadKB = 64
+
+// AblationFleet measures consistent-hash scale-out: the same 64-way
+// burst of Web-service invocations (4 invocations over each of 16
+// services) is pushed through a fleet gateway fronting 1, 4, and 16
+// appliances. Every appliance gets its own WAN uplink to the grid —
+// the paper's single-appliance bottleneck — so makespan shrinks as the
+// ring spreads the 16 services' staging traffic over more uplinks,
+// while routing stickiness stays at 100%: one service's sessions,
+// caches, and staged bytes never leave its shard.
+//
+// A final failover run repeats the burst at fleet=4 and hard-kills one
+// appliance mid-burst: the circuit breaker ejects it, its keys remap to
+// ring successors, the gateway replays the catalogued uploads there,
+// and clients that caught the crash re-issue — every invocation must
+// still complete.
+func AblationFleet(opts Options, fleets []int, invocations int) (*AblationResult, error) {
+	if len(fleets) == 0 {
+		fleets = FleetSizes
+	}
+	if invocations <= 0 {
+		invocations = 64
+	}
+	// The burst multiplies every real-scheduling cost by the fleet width;
+	// cap the dilation like the other burst ablations do.
+	if opts.Scale <= 0 || opts.Scale > 40 {
+		opts.Scale = 40
+	}
+	res := &AblationResult{Notes: []string{
+		fmt.Sprintf("%d simultaneous invocations, 4 per service over %d services, POSTed through the fleet gateway", invocations, invocations/4),
+		fmt.Sprintf("each service's executable is %d KB; the staging cache is off, so every invocation re-stages it across its appliance's ~85 KB/s WAN uplink — the paper's single-appliance bottleneck", fleetPayloadKB),
+		"requests shard by consistent hash on service|owner: stickiness_pct is the fraction of keyed dispatches that landed on the ring primary",
+		"throughput_inv_per_min should scale with the fleet: more appliances = more WAN uplinks staging in parallel",
+		"submit_rpcs / status_rpcs / uploads are summed over the fleet; shards_used counts appliances that executed at least one invocation",
+		"the kill-1 run hard-kills one appliance mid-burst at fleet=4: ejection + ring failover + catalog replay let every invocation complete (completed == the burst size), clients re-issuing on the crash (reissues)",
+	}}
+
+	for _, n := range fleets {
+		rows, err := fleetBurst(opts, fmt.Sprintf("fleet-%d", n), "scale-out", n, invocations, false)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet %d: %w", n, err)
+		}
+		res.Rows = append(res.Rows, rows...)
+	}
+	rows, err := fleetBurst(opts, "fleet-4", "kill-1", 4, invocations, true)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: fleet failover: %w", err)
+	}
+	res.Rows = append(res.Rows, rows...)
+	return res, nil
+}
+
+// fleetRig is the booted fleet measurement stack.
+type fleetRig struct {
+	clock *vtime.Scaled
+	env   *gridenv.Env
+	gw    *gateway.Gateway
+}
+
+func newFleetRig(o Options, fleetN int) (*fleetRig, error) {
+	o.fill()
+	clk := vtime.NewScaled(o.Scale)
+	env, err := gridenv.Start(gridenv.Options{
+		Clock: clk,
+		// Ample grid capacity: the experiment measures the appliance tier,
+		// not grid queueing. The grid's server side stays unshaped; each
+		// appliance's own client-side WAN uplink is the measured link.
+		Sites: []gridsim.SiteConfig{
+			{Name: "ncsa-abe", Nodes: 16, CoresPerNode: 8},
+			{Name: "sdsc-ds", Nodes: 16, CoresPerNode: 8},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.Gatekeeper.SetHeartbeatInterval(time.Minute)
+	if _, err := env.AddUser("alice", "pw", 0); err != nil {
+		env.Close()
+		return nil, err
+	}
+	gw, err := gateway.Boot(gateway.Config{
+		Fleet: fleetN,
+		Appliance: appliance.Config{
+			Endpoints:         env.Endpoints(),
+			Clock:             clk,
+			PollInterval:      3 * time.Second,
+			InvocationTimeout: time.Hour,
+			SessionCache:      true,
+		},
+		// Each shard gets its own shaped WAN uplink toward the grid — the
+		// fleet's whole point is multiplying this link.
+		PerShard: func(i int, cfg appliance.Config) appliance.Config {
+			wan := netsim.WAN(clk)
+			dialer := &netsim.Dialer{Profile: wan}
+			cfg.GridHTTP = &http.Client{Transport: &http.Transport{DialContext: dialer.DialContext}}
+			cfg.MyProxyDial = func(network, addr string) (net.Conn, error) {
+				return dialer.DialContext(context.Background(), network, addr)
+			}
+			return cfg
+		},
+		Clock:         clk,
+		FailThreshold: 2,
+		ProbeInterval: 30 * time.Second,
+		ProbeTimeout:  2 * time.Second,
+		HalfOpenAfter: 2 * time.Minute,
+		PullInterval:  5 * time.Minute,
+	}, nil)
+	if err != nil {
+		env.Close()
+		return nil, err
+	}
+	gw.RegisterUser("alice", core.UserAuth{MyProxyUser: "alice", Passphrase: "pw"})
+	return &fleetRig{clock: clk, env: env, gw: gw}, nil
+}
+
+func (r *fleetRig) close() {
+	r.gw.Shutdown()
+	r.env.Close()
+}
+
+// uploadService publishes one padded executable through the gateway.
+func (r *fleetRig) uploadService(fileName string) error {
+	program := string(gsh.Pad([]byte("compute 1s\necho ok\n"), fleetPayloadKB<<10))
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, err := mw.CreateFormFile("file", fileName)
+	if err != nil {
+		return err
+	}
+	io.WriteString(fw, program)
+	mw.WriteField("user", "alice")
+	mw.WriteField("description", "fleet ablation")
+	mw.Close()
+	resp, err := http.Post(r.gw.BaseURL+"/upload", mw.FormDataContentType(), &buf)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("upload %s: status %d: %s", fileName, resp.StatusCode, body)
+	}
+	return nil
+}
+
+// fleetInvoke drives one invocation through the gateway, returning an
+// error on any non-200 so callers can re-issue.
+func fleetInvoke(base, service, arg string) error {
+	payload, _ := json.Marshal(map[string]any{"service": service, "args": map[string]string{"x": arg}})
+	resp, err := http.Post(base+"/api/invoke", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("invoke: status %d: %s", resp.StatusCode, body)
+	}
+	var inv struct {
+		Ticket string `json:"ticket"`
+	}
+	if err := json.Unmarshal(body, &inv); err != nil || inv.Ticket == "" {
+		return fmt.Errorf("invoke reply %q: %v", body, err)
+	}
+	resp, err = http.Get(base + "/api/wait?ticket=" + inv.Ticket)
+	if err != nil {
+		return err
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("wait: status %d: %s", resp.StatusCode, body)
+	}
+	var done struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(body, &done); err != nil {
+		return err
+	}
+	if done.State != string(core.InvDone) {
+		return fmt.Errorf("wait: state %s", done.State)
+	}
+	return nil
+}
+
+// fleetBurst boots one fleet, publishes the service set, fires the
+// burst, and accounts gateway + fleet-wide counters. With kill set, one
+// appliance is hard-killed once an eighth of the burst has completed.
+func fleetBurst(o Options, study, variant string, fleetN, invocations int, kill bool) ([]AblationRow, error) {
+	r, err := newFleetRig(o, fleetN)
+	if err != nil {
+		return nil, err
+	}
+	defer r.close()
+
+	nServices := invocations / 4
+	if nServices < 1 {
+		nServices = 1
+	}
+	services := make([]string, nServices)
+	for i := range services {
+		if err := r.uploadService(fmt.Sprintf("fleetjob%02d.gsh", i)); err != nil {
+			return nil, err
+		}
+		services[i] = fmt.Sprintf("Fleetjob%02dService", i)
+	}
+
+	// The failover victim is the shard owning the most services — killing
+	// it mid-burst forces the largest share of the keyspace through
+	// ejection, ring failover, and catalog replay.
+	victim := -1
+	if kill {
+		load := map[int]int{}
+		for _, svc := range services {
+			load[r.gw.PrimaryFor(svc, "alice")]++
+		}
+		for shard, n := range load {
+			if victim < 0 || n > load[victim] {
+				victim = shard
+			}
+		}
+	}
+
+	start := r.clock.Now()
+	var (
+		wg        sync.WaitGroup
+		completed atomic.Uint64
+		reissues  atomic.Uint64
+	)
+	errs := make(chan error, invocations)
+	for i := 0; i < invocations; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			svc := services[i%len(services)]
+			var lastErr error
+			for attempt := 0; attempt < 10; attempt++ {
+				if attempt > 0 {
+					reissues.Add(1)
+					time.Sleep(100 * time.Millisecond)
+				}
+				if lastErr = fleetInvoke(r.gw.BaseURL, svc, fmt.Sprint(i)); lastErr == nil {
+					completed.Add(1)
+					return
+				}
+				if !kill {
+					break // healthy runs must succeed first try
+				}
+			}
+			errs <- fmt.Errorf("invocation %d: %w", i, lastErr)
+		}()
+	}
+	if kill {
+		// Hard-kill the victim once the burst is demonstrably in flight —
+		// after the first completion, while the victim still holds most of
+		// its share of the burst.
+		for completed.Load() == 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if err := r.gw.Kill(victim); err != nil {
+			return nil, err
+		}
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	elapsed := r.clock.Now().Sub(start).Seconds()
+
+	st := r.gw.GatewayStats()
+	var submitRPCs, statusRPCs, uploads uint64
+	shardsUsed := 0
+	for i, app := range r.gw.Fleet() {
+		if kill && i == victim {
+			continue // killed appliance: its counters died with it
+		}
+		submitRPCs += app.OnServe.SubmitStats().SubmitRPCs
+		statusRPCs += app.OnServe.CollectorStats().StatusRPCs
+		uploads += app.OnServe.SubmitStats().Uploads
+		if len(app.OnServe.Invocations()) > 0 {
+			shardsUsed++
+		}
+	}
+
+	row := func(metric string, v float64) AblationRow {
+		return AblationRow{Study: study, Variant: variant, Metric: metric, Value: v}
+	}
+	rows := []AblationRow{
+		row("appliances", float64(fleetN)),
+		row("makespan_s", elapsed),
+		row("throughput_inv_per_min", float64(invocations)/elapsed*60),
+		row("stickiness_pct", 100*float64(st.StickyHits)/float64(st.Routed)),
+		row("completed", float64(completed.Load())),
+		row("shards_used", float64(shardsUsed)),
+		row("submit_rpcs", float64(submitRPCs)),
+		row("status_rpcs", float64(statusRPCs)),
+		row("uploads", float64(uploads)),
+	}
+	if kill {
+		rows = append(rows,
+			row("reissues", float64(reissues.Load())),
+			row("failovers", float64(st.Failovers)),
+			row("retried", float64(st.Retried)),
+			row("redeploys", float64(st.Redeploys)),
+			row("ejections", float64(st.Ejections)),
+		)
+	}
+	return rows, nil
+}

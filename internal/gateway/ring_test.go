@@ -1,0 +1,99 @@
+package gateway
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func ringIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return ids
+}
+
+func TestRingDeterministicAndComplete(t *testing.T) {
+	a := newRing(64, ringIDs(5))
+	b := newRing(64, ringIDs(5))
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("Service%d|owner%d", i, i%7)
+		sa, sb := a.successors(key), b.successors(key)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("two identical rings disagree for %q: %v vs %v", key, sa, sb)
+		}
+		if len(sa) != 5 {
+			t.Fatalf("successors(%q) = %v, want all 5 members", key, sa)
+		}
+		seen := make(map[string]bool)
+		for _, id := range sa {
+			if seen[id] {
+				t.Fatalf("successors(%q) repeats %s: %v", key, id, sa)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+// TestRingRemapFraction pins the consistent-hashing property the fleet
+// depends on: removing one of N members remaps only the keys that
+// member owned (~1/N of them), and every other key keeps its primary —
+// so a crash reshuffles one shard's traffic, not the fleet's.
+func TestRingRemapFraction(t *testing.T) {
+	const members, keys = 16, 8192
+	full := newRing(64, ringIDs(members))
+	smaller := newRing(64, ringIDs(members)[:members-1]) // drop shard-15
+
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("Svc%d|owner%d", i, i%97)
+		before := full.successors(key)[0]
+		after := smaller.successors(key)[0]
+		if before != after {
+			if before != "shard-15" {
+				t.Fatalf("key %q moved %s -> %s although its owner survived", key, before, after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	// Expect ~1/16 = 6.25%; accept generous bounds around it.
+	if frac < 0.02 || frac > 0.14 {
+		t.Fatalf("removing 1 of %d members remapped %.1f%% of keys, want ~%.1f%%",
+			members, 100*frac, 100.0/members)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := newRing(64, ringIDs(8))
+	counts := make(map[string]int)
+	for i := 0; i < 8192; i++ {
+		counts[r.successors(fmt.Sprintf("S%d|u%d", i, i))[0]]++
+	}
+	min, max := 1<<30, 0
+	for _, id := range ringIDs(8) {
+		c := counts[id]
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	// 64 vnodes keeps shards within a loose factor of each other.
+	if min == 0 || max > 4*min {
+		t.Fatalf("unbalanced ring: min %d max %d (%v)", min, max, counts)
+	}
+}
+
+func TestRingRebuildRestoresMapping(t *testing.T) {
+	r := newRing(64, ringIDs(4))
+	key := "MonteCarloService|alice"
+	orig := r.successors(key)[0]
+	r.rebuild(ringIDs(3))
+	r.rebuild(ringIDs(4))
+	if got := r.successors(key)[0]; got != orig {
+		t.Fatalf("rebuild with original members moved %q: %s -> %s", key, orig, got)
+	}
+}

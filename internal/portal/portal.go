@@ -50,6 +50,7 @@ func New(ons *core.OnServe, registry *uddi.Registry, probe *metrics.Probe, cost 
 	mux.HandleFunc("/api/trace", p.apiTrace)
 	mux.HandleFunc("/api/trace/", p.apiTrace)
 	mux.HandleFunc("/api/services", p.apiServices)
+	mux.HandleFunc("/api/registry", p.apiRegistry)
 	mux.HandleFunc("/api/service", p.apiService)
 	mux.HandleFunc("/api/client", p.apiClient)
 	mux.HandleFunc("/api/invoke", p.apiInvoke)
@@ -212,6 +213,22 @@ func (p *Portal) registryPage(w http.ResponseWriter, r *http.Request) {
 	recs := p.registry.Find(r.URL.Query().Get("pattern"))
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	registryTmpl.Execute(w, recs)
+}
+
+// apiRegistry is the machine-readable registry listing, sorted by
+// service name (uddi.Registry.Find sorts). Fleet gateways pull it to
+// maintain their replicated UDDI views; ?pattern= filters with the
+// UDDI '%' wildcard.
+func (p *Portal) apiRegistry(w http.ResponseWriter, r *http.Request) {
+	if p.registry == nil {
+		jsonError(w, http.StatusNotFound, errors.New("portal: no registry"))
+		return
+	}
+	recs := p.registry.Find(r.URL.Query().Get("pattern"))
+	if recs == nil {
+		recs = []uddi.Record{}
+	}
+	writeJSON(w, http.StatusOK, recs)
 }
 
 var traceTmpl = template.Must(template.New("trace").Parse(`<!DOCTYPE html>

@@ -134,6 +134,55 @@ func TestRegistryBrowserPage(t *testing.T) {
 	}
 }
 
+// TestAPIRegistrySortedJSON pins the machine-readable registry listing
+// fleet gateways replicate from: JSON, sorted by service name, with the
+// UDDI '%' pattern filter.
+func TestAPIRegistrySortedJSON(t *testing.T) {
+	f := newFixture(t)
+	// Upload out of name order; the listing must come back sorted.
+	f.upload(t, "zeta.gsh", "echo ${x}\n")
+	f.upload(t, "alpha.gsh", "echo ${x}\n")
+	f.upload(t, "mid.gsh", "echo ${x}\n")
+
+	resp, err := http.Get(f.url + "/api/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var recs []uddi.Record
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	want := []string{"AlphaService", "MidService", "ZetaService"}
+	for i, rec := range recs {
+		if rec.Name != want[i] {
+			t.Fatalf("listing not sorted: got %v at %d, want %v", rec.Name, i, want[i])
+		}
+		if rec.Owner != "alice" {
+			t.Fatalf("record %v missing owner", rec)
+		}
+	}
+
+	resp, err = http.Get(f.url + "/api/registry?pattern=Alpha%25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	recs = nil
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "AlphaService" {
+		t.Fatalf("pattern filter: %v", recs)
+	}
+}
+
 func TestRegistryPageWithoutRegistry(t *testing.T) {
 	f := newFixture(t)
 	p := New(f.onserve, nil, nil, metrics.Cost{})

@@ -28,8 +28,11 @@ go test -race -short ./...
 # service, spans annotated from watchdog and poller concurrently,
 # portal export under load), and the placement layer (parallel
 # possession probes, TTL cache + singleflight, background replicator
-# workers — the agent carries the batched probe client) are the
-# concurrency hot spots: run their packages fresh (-count=1 defeats the
-# test cache) so cached "ok" lines can never mask a newly introduced
-# race.
-go test -race -count=1 ./internal/core ./internal/blobdb ./internal/cyberaide ./internal/gram ./internal/gridsim ./internal/gridftp ./internal/netsim ./internal/portal ./internal/soap ./internal/trace
+# workers — the agent carries the batched probe client), and the fleet
+# gateway (concurrent bursts racing a mid-burst appliance kill and
+# rejoin: health FSM transitions fed by probes and proxies at once,
+# the replicated UDDI view written by peer pushes while resolves read
+# it) are the concurrency hot spots: run their packages fresh
+# (-count=1 defeats the test cache) so cached "ok" lines can never
+# mask a newly introduced race.
+go test -race -count=1 ./internal/core ./internal/blobdb ./internal/cyberaide ./internal/gram ./internal/gridsim ./internal/gridftp ./internal/netsim ./internal/portal ./internal/soap ./internal/trace ./internal/gateway
