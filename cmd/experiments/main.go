@@ -14,6 +14,7 @@
 //	experiments -blobdb           # storage-engine ablation -> results/blobdb.json
 //	experiments -trace            # per-request span breakdown -> results/trace.json
 //	experiments -fleet            # consistent-hash fleet scale-out -> results/fleet.json
+//	experiments -tenancy          # multi-tenant noisy-neighbor ablation -> results/tenancy.json
 package main
 
 import (
@@ -28,33 +29,35 @@ import (
 
 func main() {
 	var (
-		fig         = flag.Int("fig", 0, "regenerate one figure (6, 7 or 8)")
-		scalability = flag.Bool("scalability", false, "run the §VIII-D concurrency sweep")
-		smallJobs   = flag.Bool("smalljobs", false, "run the §VIII-B many-small-jobs check")
-		ablations   = flag.Bool("ablations", false, "run the design-choice ablations")
-		hotpath     = flag.Bool("hotpath", false, "run the invocation hot-path ablations")
-		pollhub     = flag.Bool("pollhub", false, "run the poll-hub output-collection ablation")
-		submit      = flag.Bool("submit", false, "run the batched-submission front-end ablation")
-		stage       = flag.Bool("stage", false, "run the chunked-staging data-plane ablation")
-		placement   = flag.Bool("placement", false, "run the data-aware placement + pre-replication ablation")
-		blobdbFlag  = flag.Bool("blobdb", false, "run the storage-engine sharding/compaction/replay ablation")
-		replayRecs  = flag.Int("replay-records", 1_000_000, "record count for the -blobdb cold-boot replay study")
-		traceFlag   = flag.Bool("trace", false, "run the traced small/large stock/all-knobs breakdown")
-		fleetFlag   = flag.Bool("fleet", false, "run the consistent-hash fleet scale-out ablation (1/4/16 appliances + kill-one failover)")
-		baseline    = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
-		all         = flag.Bool("all", false, "run every experiment")
-		scale       = flag.Float64("scale", 200, "virtual-time dilation factor")
-		outDir      = flag.String("out", "results", "directory for CSV output")
-		jobs        = flag.Int("jobs", 50, "job count for -smalljobs")
+		fig          = flag.Int("fig", 0, "regenerate one figure (6, 7 or 8)")
+		scalability  = flag.Bool("scalability", false, "run the §VIII-D concurrency sweep")
+		smallJobs    = flag.Bool("smalljobs", false, "run the §VIII-B many-small-jobs check")
+		ablations    = flag.Bool("ablations", false, "run the design-choice ablations")
+		hotpath      = flag.Bool("hotpath", false, "run the invocation hot-path ablations")
+		pollhub      = flag.Bool("pollhub", false, "run the poll-hub output-collection ablation")
+		submit       = flag.Bool("submit", false, "run the batched-submission front-end ablation")
+		stage        = flag.Bool("stage", false, "run the chunked-staging data-plane ablation")
+		placement    = flag.Bool("placement", false, "run the data-aware placement + pre-replication ablation")
+		blobdbFlag   = flag.Bool("blobdb", false, "run the storage-engine sharding/compaction/replay ablation")
+		replayRecs   = flag.Int("replay-records", 1_000_000, "record count for the -blobdb cold-boot replay study")
+		traceFlag    = flag.Bool("trace", false, "run the traced small/large stock/all-knobs breakdown")
+		fleetFlag    = flag.Bool("fleet", false, "run the consistent-hash fleet scale-out ablation (1/4/16 appliances + kill-one failover)")
+		tenancyFlag  = flag.Bool("tenancy", false, "run the multi-tenant noisy-neighbor ablation (hog burst vs victim p99, off/on)")
+		tenancyBurst = flag.Int("tenancy-burst", 1000, "hog burst size for -tenancy")
+		baseline     = flag.Bool("baseline", false, "compare raw JSE access with the SaaS path")
+		all          = flag.Bool("all", false, "run every experiment")
+		scale        = flag.Float64("scale", 200, "virtual-time dilation factor")
+		outDir       = flag.String("out", "results", "directory for CSV output")
+		jobs         = flag.Int("jobs", 50, "job count for -smalljobs")
 	)
 	flag.Parse()
-	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *placement, *blobdbFlag, *traceFlag, *fleetFlag, *baseline, *all, *scale, *outDir, *jobs, *replayRecs); err != nil {
+	if err := run(*fig, *scalability, *smallJobs, *ablations, *hotpath, *pollhub, *submit, *stage, *placement, *blobdbFlag, *traceFlag, *fleetFlag, *tenancyFlag, *baseline, *all, *scale, *outDir, *jobs, *replayRecs, *tenancyBurst); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, placement, blobdbFlag, traceFlag, fleetFlag, baseline, all bool, scale float64, outDir string, jobs, replayRecs int) error {
+func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, stage, placement, blobdbFlag, traceFlag, fleetFlag, tenancyFlag, baseline, all bool, scale float64, outDir string, jobs, replayRecs, tenancyBurst int) error {
 	opts := experiments.Options{Scale: scale}
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
@@ -290,6 +293,23 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		}
 		fmt.Printf("wrote %s\n\n", path)
 	}
+	if all || tenancyFlag {
+		any = true
+		res, err := experiments.AblationTenancy(opts, tenancyBurst)
+		if err != nil {
+			return fmt.Errorf("tenancy: %w", err)
+		}
+		fmt.Print(res.Render())
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(outDir, "tenancy.json")
+		if err := os.WriteFile(path, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n\n", path)
+	}
 	if all || baseline {
 		any = true
 		res, err := experiments.BaselineJSE(opts, 256)
@@ -300,7 +320,7 @@ func run(fig int, scalability, smallJobs, ablations, hotpath, pollhub, submit, s
 		fmt.Println()
 	}
 	if !any {
-		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -placement, -blobdb, -trace, -fleet, -baseline or -all")
+		return fmt.Errorf("nothing selected; use -fig N, -scalability, -smalljobs, -ablations, -hotpath, -pollhub, -submit, -stage, -placement, -blobdb, -trace, -fleet, -tenancy, -baseline or -all")
 	}
 	return nil
 }

@@ -8,6 +8,11 @@
 //	onserve-cli -portal ... invoke -service PiService -arg digits=100 -wait
 //	onserve-cli -portal ... output -ticket inv-000001-abcdef
 //	onserve-cli -portal ... trace -ticket inv-000001-abcdef
+//	onserve-cli -portal ... -key tenant-secret audit -n 20
+//
+// When the appliance enforces tenancy, pass the API key with -key (or
+// the ONSERVE_KEY environment variable); it travels as the X-Grid-Key
+// header on every request, SOAP calls included.
 package main
 
 import (
@@ -23,38 +28,43 @@ import (
 	"strings"
 
 	"repro/internal/soap"
+	"repro/internal/tenant"
 	"repro/internal/uddi"
 	"repro/internal/wsclient"
 )
 
 func main() {
-	var portalURL string
+	var portalURL, key string
 	flag.StringVar(&portalURL, "portal", "http://127.0.0.1:8080", "appliance base URL")
+	flag.StringVar(&key, "key", os.Getenv("ONSERVE_KEY"), "tenant API key sent as X-Grid-Key (default: $ONSERVE_KEY)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 		os.Exit(2)
 	}
+	cli := newClient(key)
 	cmd, rest := args[0], args[1:]
 	var err error
 	switch cmd {
 	case "upload":
-		err = cmdUpload(portalURL, rest)
+		err = cmdUpload(cli, portalURL, rest)
 	case "list":
-		err = cmdList(portalURL)
+		err = cmdList(cli, portalURL)
 	case "describe":
-		err = cmdDescribe(portalURL, rest)
+		err = cmdDescribe(cli, portalURL, rest)
 	case "discover":
-		err = cmdDiscover(portalURL, rest)
+		err = cmdDiscover(cli, portalURL, rest)
 	case "invoke":
-		err = cmdInvoke(portalURL, rest)
+		err = cmdInvoke(cli, portalURL, rest)
 	case "status", "output", "cancel":
-		err = cmdTicket(portalURL, cmd, rest)
+		err = cmdTicket(cli, portalURL, cmd, rest)
 	case "trace":
-		err = cmdTrace(portalURL, rest)
+		err = cmdTrace(cli, portalURL, rest)
 	case "delete":
-		err = cmdDelete(portalURL, rest)
+		err = cmdDelete(cli, portalURL, rest)
+	case "audit":
+		err = cmdAudit(cli, portalURL, rest)
 	default:
 		usage()
 		os.Exit(2)
@@ -66,7 +76,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: onserve-cli [-portal URL] <command> [flags]
+	fmt.Fprintln(os.Stderr, `usage: onserve-cli [-portal URL] [-key K] <command> [flags]
 commands:
   upload   -file F -user U [-desc D] [-param name:type ...]
   list
@@ -77,7 +87,27 @@ commands:
   output   -ticket T
   cancel   -ticket T
   trace    -ticket T
-  delete   -service S`)
+  delete   -service S
+  audit    [-owner O] [-n N]  (tenancy audit log, needs -tenancy on the appliance)`)
+}
+
+// keyTransport stamps the tenant API key onto every outgoing request,
+// so one -key flag covers JSON, multipart and SOAP traffic alike.
+type keyTransport struct {
+	key  string
+	next http.RoundTripper
+}
+
+func (t *keyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	r.Header.Set(tenant.KeyHeader, t.key)
+	return t.next.RoundTrip(r)
+}
+
+func newClient(key string) *http.Client {
+	if key == "" {
+		return http.DefaultClient
+	}
+	return &http.Client{Transport: &keyTransport{key: key, next: http.DefaultTransport}}
 }
 
 type multiFlag []string
@@ -85,7 +115,7 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
-func cmdUpload(portalURL string, args []string) error {
+func cmdUpload(cli *http.Client, portalURL string, args []string) error {
 	fs := flag.NewFlagSet("upload", flag.ExitOnError)
 	file := fs.String("file", "", "gsh executable to upload")
 	user := fs.String("user", "", "portal user (must be registered on the appliance)")
@@ -118,7 +148,7 @@ func cmdUpload(portalURL string, args []string) error {
 		mw.WriteField(fmt.Sprintf("paramType%d", i+1), typ)
 	}
 	mw.Close()
-	resp, err := http.Post(portalURL+"/upload", mw.FormDataContentType(), &buf)
+	resp, err := cli.Post(portalURL+"/upload", mw.FormDataContentType(), &buf)
 	if err != nil {
 		return err
 	}
@@ -136,8 +166,8 @@ func cmdUpload(portalURL string, args []string) error {
 	return nil
 }
 
-func cmdList(portalURL string) error {
-	resp, err := http.Get(portalURL + "/api/services")
+func cmdList(cli *http.Client, portalURL string) error {
+	resp, err := cli.Get(portalURL + "/api/services")
 	if err != nil {
 		return err
 	}
@@ -152,11 +182,11 @@ func cmdList(portalURL string) error {
 	return nil
 }
 
-func cmdDescribe(portalURL string, args []string) error {
+func cmdDescribe(cli *http.Client, portalURL string, args []string) error {
 	fs := flag.NewFlagSet("describe", flag.ExitOnError)
 	service := fs.String("service", "", "service name")
 	fs.Parse(args)
-	proxy, err := wsclient.ImportURL(portalURL+"/services/"+*service, nil)
+	proxy, err := wsclient.ImportURL(portalURL+"/services/"+*service, cli)
 	if err != nil {
 		return err
 	}
@@ -174,11 +204,11 @@ func cmdDescribe(portalURL string, args []string) error {
 	return nil
 }
 
-func cmdDiscover(portalURL string, args []string) error {
+func cmdDiscover(cli *http.Client, portalURL string, args []string) error {
 	fs := flag.NewFlagSet("discover", flag.ExitOnError)
 	pattern := fs.String("pattern", "%", "UDDI name pattern")
 	fs.Parse(args)
-	var c soap.Client
+	c := soap.Client{HTTP: cli}
 	out, err := c.Call(portalURL+"/services/"+uddi.ServiceName, uddi.Namespace, "find",
 		[]soap.Param{{Name: "pattern", Value: *pattern}}, nil)
 	if err != nil {
@@ -197,7 +227,7 @@ func cmdDiscover(portalURL string, args []string) error {
 	return nil
 }
 
-func cmdInvoke(portalURL string, args []string) error {
+func cmdInvoke(cli *http.Client, portalURL string, args []string) error {
 	fs := flag.NewFlagSet("invoke", flag.ExitOnError)
 	service := fs.String("service", "", "service name")
 	wait := fs.Bool("wait", false, "block until the job finishes and print its output")
@@ -215,7 +245,7 @@ func cmdInvoke(portalURL string, args []string) error {
 		}
 		callArgs[k] = v
 	}
-	proxy, err := wsclient.ImportURL(portalURL+"/services/"+*service, nil)
+	proxy, err := wsclient.ImportURL(portalURL+"/services/"+*service, cli)
 	if err != nil {
 		return err
 	}
@@ -235,7 +265,7 @@ func cmdInvoke(portalURL string, args []string) error {
 	return nil
 }
 
-func cmdTicket(portalURL, cmd string, args []string) error {
+func cmdTicket(cli *http.Client, portalURL, cmd string, args []string) error {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	ticket := fs.String("ticket", "", "invocation ticket")
 	fs.Parse(args)
@@ -246,9 +276,9 @@ func cmdTicket(portalURL, cmd string, args []string) error {
 	var err error
 	switch cmd {
 	case "cancel":
-		resp, err = http.Post(portalURL+"/api/cancel?ticket="+*ticket, "", nil)
+		resp, err = cli.Post(portalURL+"/api/cancel?ticket="+*ticket, "", nil)
 	default:
-		resp, err = http.Get(portalURL + "/api/" + cmd + "?ticket=" + *ticket)
+		resp, err = cli.Get(portalURL + "/api/" + cmd + "?ticket=" + *ticket)
 	}
 	if err != nil {
 		return err
@@ -265,14 +295,14 @@ func cmdTicket(portalURL, cmd string, args []string) error {
 // cmdTrace fetches the invocation's span tree and renders a text
 // waterfall: one line per span, indented by depth, with duration and
 // the attributes that attribute the time (site, bytes, state).
-func cmdTrace(portalURL string, args []string) error {
+func cmdTrace(cli *http.Client, portalURL string, args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	ticket := fs.String("ticket", "", "invocation ticket")
 	fs.Parse(args)
 	if *ticket == "" {
 		return fmt.Errorf("trace needs -ticket")
 	}
-	resp, err := http.Get(portalURL + "/api/trace?ticket=" + *ticket)
+	resp, err := cli.Get(portalURL + "/api/trace?ticket=" + *ticket)
 	if err != nil {
 		return err
 	}
@@ -324,11 +354,11 @@ func cmdTrace(portalURL string, args []string) error {
 	return nil
 }
 
-func cmdDelete(portalURL string, args []string) error {
+func cmdDelete(cli *http.Client, portalURL string, args []string) error {
 	fs := flag.NewFlagSet("delete", flag.ExitOnError)
 	service := fs.String("service", "", "service name")
 	fs.Parse(args)
-	resp, err := http.Post(portalURL+"/api/delete?name="+*service, "", nil)
+	resp, err := cli.Post(portalURL+"/api/delete?name="+*service, "", nil)
 	if err != nil {
 		return err
 	}
@@ -338,5 +368,58 @@ func cmdDelete(portalURL string, args []string) error {
 		return fmt.Errorf("delete failed (%d): %s", resp.StatusCode, body)
 	}
 	fmt.Println("deleted", *service)
+	return nil
+}
+
+// cmdAudit prints the appliance's tenancy audit log, newest first.
+func cmdAudit(cli *http.Client, portalURL string, args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ExitOnError)
+	owner := fs.String("owner", "", "filter records to one owner (empty: all)")
+	n := fs.Int("n", 50, "maximum records to print")
+	fs.Parse(args)
+	url := fmt.Sprintf("%s/api/audit?n=%d", portalURL, *n)
+	if *owner != "" {
+		url += "&owner=" + *owner
+	}
+	resp, err := cli.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("audit log unavailable (appliance running without -tenancy?)")
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("audit failed (%d): %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		Records []tenant.Record `json:"records"`
+		Dropped uint64          `json:"dropped"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return err
+	}
+	if len(doc.Records) == 0 {
+		fmt.Println("no audit records")
+		return nil
+	}
+	for _, r := range doc.Records {
+		line := fmt.Sprintf("%s %-10s %-7s %-22s %-12s wait=%.1fms latency=%.1fms",
+			r.Time.Format("15:04:05.000"), r.Owner, r.Verb, r.Service, r.Outcome, r.WaitMS, r.LatencyMS)
+		if r.Code != "" {
+			line += " code=" + r.Code
+		}
+		if r.Ticket != "" {
+			line += " ticket=" + r.Ticket
+		}
+		if r.TraceID != "" {
+			line += " trace=" + r.TraceID
+		}
+		fmt.Println(line)
+	}
+	if doc.Dropped > 0 {
+		fmt.Printf("(%d older records evicted from the ring)\n", doc.Dropped)
+	}
 	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cyberaide"
 	"repro/internal/gateway"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 )
 
@@ -48,6 +49,8 @@ func main() {
 		segmentBytes  = flag.Int64("segment-bytes", 0, "roll a shard's live WAL segment past this size (0: 16 MiB default; needs -wal-shards >= 2)")
 		autoCompact   = flag.Bool("auto-compact", false, "retire dead WAL segments in the background instead of stop-the-world compaction (needs -wal-shards >= 2)")
 		fleet         = flag.Int("fleet", 0, "boot N appliances behind a consistent-hash gateway on -listen instead of one appliance (0: single appliance, stock wire behaviour)")
+		tenancy       = flag.Bool("tenancy", false, "enforce the multi-tenant control plane: API keys, policy, rate limits, fair-share quotas and the audit log (needs -keys-file)")
+		keysFile      = flag.String("keys-file", "", "tenancy config JSON (owners, keys, limits, audit); see README for the schema")
 		users         userList
 	)
 	flag.Var(&users, "user", "portal-user:myproxy-passphrase to register (repeatable)")
@@ -65,6 +68,8 @@ func main() {
 		segmentBytes:  *segmentBytes,
 		autoCompact:   *autoCompact,
 		fleet:         *fleet,
+		tenancy:       *tenancy,
+		keysFile:      *keysFile,
 		users:         users,
 	}
 	if err := run(opts); err != nil {
@@ -86,6 +91,8 @@ type bootOptions struct {
 	segmentBytes  int64
 	autoCompact   bool
 	fleet         int
+	tenancy       bool
+	keysFile      string
 	users         userList
 }
 
@@ -120,6 +127,16 @@ func run(opts bootOptions) error {
 		// The grid services live in another process (gridd), so the
 		// trace tree covers the appliance's side of the pipeline.
 		cfg.Trace = trace.NewCollector(0, 0)
+	}
+	if opts.tenancy {
+		if opts.keysFile == "" {
+			return fmt.Errorf("-tenancy needs -keys-file")
+		}
+		tc, err := tenant.LoadConfig(opts.keysFile)
+		if err != nil {
+			return err
+		}
+		cfg.Tenancy = &tc
 	}
 	if opts.fleet > 0 {
 		return runFleet(cfg, opts, users)

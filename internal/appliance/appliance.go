@@ -9,10 +9,12 @@
 package appliance
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,6 +25,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/portal"
 	"repro/internal/soap"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
@@ -105,6 +108,11 @@ type Config struct {
 	// pipeline, recording spans into this collector. Share one collector
 	// with gridenv.Options.Trace to get single cross-service trees.
 	Trace *trace.Collector
+	// Tenancy, when non-nil, boots the multi-tenant control plane (API
+	// keys, policy, rate limits, fair-share quotas, audit) from this
+	// declarative config; cmd/onserve loads it from -keys-file. Nil —
+	// the default — keeps the appliance fully anonymous.
+	Tenancy *tenant.Config
 }
 
 // Image is a built appliance image: validated configuration plus the
@@ -230,6 +238,20 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 	if cfg.Trace != nil {
 		coreCfg.Tracing = trace.NewTracer("onserve", cfg.Clock, cfg.Trace)
 	}
+	var ctl *tenant.Controller
+	if cfg.Tenancy != nil {
+		topts := tenant.Options{Clock: cfg.Clock, DB: db}
+		if cfg.Trace != nil {
+			topts.Tracer = trace.NewTracer("tenant", cfg.Clock, cfg.Trace)
+		}
+		ctl, err = tenant.NewController(*cfg.Tenancy, topts)
+		if err != nil {
+			db.Close()
+			ln.Close()
+			return nil, fmt.Errorf("appliance: tenancy: %w", err)
+		}
+		coreCfg.Tenancy = ctl
+	}
 	ons, err := core.New(coreCfg)
 	if err != nil {
 		db.Close()
@@ -254,7 +276,18 @@ func (img *Image) Boot(ln net.Listener) (*Appliance, error) {
 
 	p := portal.New(ons, registry, cfg.Probe, cfg.Cost)
 	mux := http.NewServeMux()
-	mux.Handle("/services/", container)
+	var services http.Handler = container
+	if ctl != nil {
+		// The SOAP container is the portal's side door: without this
+		// guard a keyless caller could drive generated services (and
+		// their execute operations) directly. SOAP calls authenticate
+		// with the same X-Grid-Key header and pass the invoke policy;
+		// the full rate/quota pipeline stays at the portal edge, which
+		// is the only surface that creates invocations on behalf of
+		// anonymous SOAP-era clients when tenancy is off.
+		services = guardServices(ctl, container)
+	}
+	mux.Handle("/services/", services)
 	mux.Handle("/", p)
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
@@ -283,6 +316,37 @@ func (a *Appliance) Shutdown() error {
 		err = a.DB.Close()
 	})
 	return err
+}
+
+// guardServices authenticates SOAP traffic against the tenant control
+// plane. Reads (WSDL fetches) stay open; POSTs — SOAP calls — need a
+// valid key whose policy permits invoking the addressed service.
+// Errors use the portal's JSON envelope so one client error path
+// covers both doors.
+func guardServices(ctl *tenant.Controller, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet || r.Method == http.MethodHead {
+			next.ServeHTTP(w, r)
+			return
+		}
+		pr, err := ctl.Authenticate(r.Header.Get(tenant.KeyHeader), tenant.VerbInvoke)
+		if err != nil {
+			writeGuardError(w, http.StatusUnauthorized, "unauthorized", err)
+			return
+		}
+		name := strings.TrimPrefix(r.URL.Path, "/services/")
+		if !ctl.Allows(pr.Owner, tenant.VerbInvoke, name) {
+			writeGuardError(w, http.StatusForbidden, "forbidden", tenant.ErrForbidden)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func writeGuardError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
 }
 
 // ServicesURL returns the SOAP container root URL.

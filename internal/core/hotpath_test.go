@@ -107,7 +107,7 @@ func TestStatsTTLServesCachedSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.ons.pickSites(sessID, "MontecarloService", nil, trace.SpanContext{}); err != nil {
+	if _, err := f.ons.pickSites(sessID, "MontecarloService", "", nil, trace.SpanContext{}); err != nil {
 		t.Fatal(err)
 	}
 	// Plant a sentinel snapshot: while the TTL holds, pickSites must use
@@ -116,7 +116,7 @@ func TestStatsTTLServesCachedSnapshot(t *testing.T) {
 	f.ons.stats = []gridsim.SiteStats{{Name: "siteB", Slots: 8, FreeSlots: 8}}
 	f.ons.statsAt = f.clock.Now()
 	f.ons.mu.Unlock()
-	sites, err := f.ons.pickSites(sessID, "MontecarloService", nil, trace.SpanContext{})
+	sites, err := f.ons.pickSites(sessID, "MontecarloService", "", nil, trace.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestStatsTTLServesCachedSnapshot(t *testing.T) {
 	f.ons.mu.Lock()
 	f.ons.statsAt = f.clock.Now().Add(-2 * ttl)
 	f.ons.mu.Unlock()
-	sites, err = f.ons.pickSites(sessID, "MontecarloService", nil, trace.SpanContext{})
+	sites, err = f.ons.pickSites(sessID, "MontecarloService", "", nil, trace.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -288,7 +288,7 @@ func (o *OnServe) invoke(serviceName string, args map[string]string, root *trace
 // stage-in data may only run where the owner staged it, so later
 // candidates are tried when submission reports a staging problem.
 func (o *OnServe) submitPipeline(sessionID, serviceName string, info *ExecutableInfo, args map[string]string, blob []byte, tc trace.SpanContext) (site, jobID string, err error) {
-	candidates, err := o.pickSites(sessionID, serviceName, blob, tc)
+	candidates, err := o.pickSites(sessionID, serviceName, info.Owner, blob, tc)
 	if err != nil {
 		return "", "", err
 	}
@@ -385,12 +385,12 @@ func isSessionFault(err error) bool {
 // With Config.StatsTTL set, the snapshot is cached so heavy invocation
 // traffic stops paying one SOAP round-trip per call; slightly stale
 // load data only shifts which site wins, never correctness.
-func (o *OnServe) pickSites(sessionID, serviceName string, blob []byte, tc trace.SpanContext) ([]string, error) {
+func (o *OnServe) pickSites(sessionID, serviceName, owner string, blob []byte, tc trace.SpanContext) ([]string, error) {
 	stats, err := o.gridStats(sessionID)
 	if err != nil {
 		return nil, fmt.Errorf("onserve: grid stats: %w", err)
 	}
-	cands := o.stageableLoads(stats)
+	cands := o.siteFilter(owner, o.stageableLoads(stats))
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("onserve: no stageable site available")
 	}
@@ -415,6 +415,25 @@ func (o *OnServe) pickSites(sessionID, serviceName string, blob []byte, tc trace
 type siteLoad struct {
 	name string
 	load float64
+}
+
+// siteFilter drops candidate sites the owner's tenancy policy
+// excludes. The principal here is the service's owner, not the
+// invoking caller: placement is a property of whose executable runs
+// where, and the core never sees the caller's key. With tenancy off
+// (or an unconstrained owner) the slice passes through untouched.
+func (o *OnServe) siteFilter(owner string, cands []siteLoad) []siteLoad {
+	ctl := o.cfg.Tenancy
+	if ctl == nil || owner == "" {
+		return cands
+	}
+	kept := cands[:0]
+	for _, c := range cands {
+		if ctl.SiteAllowed(owner, c.name) {
+			kept = append(kept, c)
+		}
+	}
+	return kept
 }
 
 // stageableLoads maps a scheduler-statistics snapshot to the load terms

@@ -27,6 +27,7 @@ import (
 	"repro/internal/gsh"
 	"repro/internal/metrics"
 	"repro/internal/soap"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
@@ -218,6 +219,12 @@ type Config struct {
 	// header. Off (nil) by default; the nil tracer is a zero-allocation
 	// no-op, so the invoke hot path is untouched when tracing is off.
 	Tracing *trace.Tracer
+	// Tenancy, when set, is the multi-tenant control plane (API keys,
+	// policy, rate limits, fair-share quotas, audit). The core consults
+	// it for per-site allow-lists when placing work; admission itself
+	// happens at the portal edge. Off (nil) by default: the stock path
+	// performs no tenancy work at all.
+	Tenancy *tenant.Controller
 }
 
 // OnServe is the middleware instance.
@@ -602,6 +609,14 @@ func (o *OnServe) DeleteService(serviceName string) error {
 	}
 	return nil
 }
+
+// Tenancy exposes the multi-tenant control plane; nil when the
+// subsystem is off, which callers treat as "admit everything".
+func (o *OnServe) Tenancy() *tenant.Controller { return o.cfg.Tenancy }
+
+// SetTenancy installs the controller after construction. Call it before
+// serving traffic — the admission path reads the field without a lock.
+func (o *OnServe) SetTenancy(ctl *tenant.Controller) { o.cfg.Tenancy = ctl }
 
 // Services lists the generated services, sorted by service name. The
 // order is part of the API: fleet gateways merge listings from many

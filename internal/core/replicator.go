@@ -145,6 +145,14 @@ func (r *replicator) pushAll(t repTask) {
 		return
 	}
 	cands := o.stageableLoads(stats)
+	if o.cfg.Tenancy != nil {
+		// Pre-replication must respect the owner's site allow-list: a
+		// policy that pins a tenant to certain sites would be defeated
+		// by background copies landing elsewhere.
+		if info, err := o.ServiceInfo(t.service); err == nil {
+			cands = o.siteFilter(info.Owner, cands)
+		}
+	}
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].load != cands[j].load {
 			return cands[i].load < cands[j].load

@@ -23,6 +23,7 @@ import (
 	"repro/internal/gridsim"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 )
@@ -83,6 +84,9 @@ type Options struct {
 	DataAwarePlacement bool
 	PlacementProbeTTL  time.Duration
 	ReplicateTopK      int
+	// Tenancy enables the multi-tenant control plane (API keys, policy,
+	// rate limits, fair-share quotas, audit); nil keeps it off.
+	Tenancy *tenant.Config
 	// Cost overrides the appliance CPU cost model (nil = defaults).
 	Cost *metrics.Cost
 	// Tracing turns on the distributed tracer: one collector shared by
@@ -233,6 +237,7 @@ func newRig(opts Options) (*rig, error) {
 		DataAwarePlacement: opts.DataAwarePlacement,
 		PlacementProbeTTL:  opts.PlacementProbeTTL,
 		ReplicateTopK:      opts.ReplicateTopK,
+		Tenancy:            opts.Tenancy,
 		Trace:              col,
 	})
 	if err != nil {

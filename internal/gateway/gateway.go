@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/appliance"
 	"repro/internal/core"
 	"repro/internal/portal"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/vtime"
@@ -545,6 +547,9 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case KindStats:
 		g.ctr.scatters.Add(1)
 		g.serveStats(w, r)
+	case KindAudit:
+		g.ctr.scatters.Add(1)
+		g.serveAudit(w, r)
 	case KindServices:
 		g.ctr.scatters.Add(1)
 		g.serveServices(w, r)
@@ -838,9 +843,104 @@ func (g *Gateway) serveStats(w http.ResponseWriter, r *http.Request) {
 		}(i, m)
 	}
 	wg.Wait()
-	writeJSON(w, http.StatusOK, map[string]any{
+	doc := map[string]any{
 		"gateway": g.GatewayStats(),
 		"fleet":   docs,
+	}
+	// When any shard runs with tenancy on, surface a fleet-wide tenant
+	// block: counters sum across shards, gauges take the fleet max.
+	var merged tenant.Stats
+	found := false
+	for _, d := range docs {
+		if len(d.Stats) == 0 {
+			continue
+		}
+		var payload struct {
+			Tenant *tenant.Stats `json:"tenant"`
+		}
+		if json.Unmarshal(d.Stats, &payload) != nil || payload.Tenant == nil {
+			continue
+		}
+		merged.Merge(*payload.Tenant)
+		found = true
+	}
+	if found {
+		doc["tenant"] = merged
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// serveAudit scatter-gathers /api/audit across the fleet: per-shard
+// enforcement means each shard holds only the audit records for actions
+// it admitted or denied, so the fleet-wide view merges them newest
+// first. When no shard runs with tenancy on, the gateway answers 404
+// exactly like a single appliance would.
+func (g *Gateway) serveAudit(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	type auditDoc struct {
+		Records []tenant.Record `json:"records"`
+		Dropped uint64          `json:"dropped"`
+	}
+	docs := make([]*auditDoc, len(g.members))
+	var wg sync.WaitGroup
+	for i, m := range g.members {
+		if !m.healthy() {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			resp, err := g.forward(m, r, nil, nil)
+			if err != nil {
+				m.fail()
+				return
+			}
+			m.ok()
+			if resp.status != http.StatusOK {
+				return
+			}
+			var doc auditDoc
+			if json.Unmarshal(resp.body, &doc) == nil {
+				docs[i] = &doc
+			}
+		}(i, m)
+	}
+	wg.Wait()
+	var records []tenant.Record
+	var dropped uint64
+	found := false
+	for _, d := range docs {
+		if d == nil {
+			continue
+		}
+		found = true
+		records = append(records, d.Records...)
+		dropped += d.Dropped
+	}
+	if !found {
+		http.NotFound(w, r)
+		return
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if !records[i].Time.Equal(records[j].Time) {
+			return records[i].Time.After(records[j].Time)
+		}
+		return records[i].Seq > records[j].Seq
+	})
+	if len(records) > n {
+		records = records[:n]
+	}
+	if records == nil {
+		records = []tenant.Record{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records": records,
+		"dropped": dropped,
 	})
 }
 
@@ -1043,5 +1143,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func jsonError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": errCode(status)})
+}
+
+// errCode mirrors the portal's machine-readable error codes so a client
+// behind the gateway sees one envelope vocabulary. Upstream envelopes
+// pass through verbatim; this only names errors the gateway itself
+// originates.
+func errCode(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	default:
+		return "internal"
+	}
 }

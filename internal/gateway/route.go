@@ -43,6 +43,9 @@ const (
 	KindServices
 	// KindStats scatter-gathers /api/stats and prepends the gateway block.
 	KindStats
+	// KindAudit scatter-gathers /api/audit across the fleet and merges
+	// the per-shard tenancy audit records newest-first.
+	KindAudit
 	// KindRegistry serves the replicated UDDI view locally.
 	KindRegistry
 )
@@ -65,6 +68,8 @@ func (k Kind) String() string {
 		return "services"
 	case KindStats:
 		return "stats"
+	case KindAudit:
+		return "audit"
 	case KindRegistry:
 		return "registry"
 	default:
@@ -151,6 +156,8 @@ func DecodeRoute(method, path, rawQuery, contentType string, body []byte) (Route
 		return Route{Kind: KindServices}, nil
 	case "/api/stats":
 		return Route{Kind: KindStats}, nil
+	case "/api/audit":
+		return Route{Kind: KindAudit}, nil
 	case "/registry":
 		return Route{Kind: KindRegistry}, nil
 	}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/tenant"
 	"repro/internal/trace"
 	"repro/internal/uddi"
 	"repro/internal/wsclient"
@@ -60,6 +61,7 @@ func New(ons *core.OnServe, registry *uddi.Registry, probe *metrics.Probe, cost 
 	mux.HandleFunc("/api/wait", p.apiWait)
 	mux.HandleFunc("/api/cancel", p.apiCancel)
 	mux.HandleFunc("/api/delete", p.apiDelete)
+	mux.HandleFunc("/api/audit", p.apiAudit)
 	p.mux = mux
 	return p
 }
@@ -113,7 +115,14 @@ func (p *Portal) home(w http.ResponseWriter, r *http.Request) {
 // server, and the onServe function generates and publishes the service.
 func (p *Portal) upload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	// The key rides in the header block, so authentication happens
+	// before a single body byte is parsed; policy runs later, once the
+	// multipart form has yielded the service name.
+	pr, ok := p.authenticate(w, tenant.VerbUpload, r)
+	if !ok {
 		return
 	}
 	p.probe.Burn(p.cost.RequestHandling)
@@ -163,8 +172,21 @@ func (p *Portal) upload(w http.ResponseWriter, r *http.Request) {
 	// Malformed trace headers degrade to a fresh root trace, never a
 	// rejected upload (parse-before-auth).
 	tc, _ := trace.Parse(r.Header.Get(trace.Header))
-	rec, err := p.onserve.UploadAndGenerateCtx(user, hdr.Filename, description, params, content, tc)
+	// Policy wants the service name the upload will publish as; it is a
+	// pure function of the filename, so evaluate it pre-admission. A
+	// name the core would reject is admitted under the raw filename and
+	// fails downstream exactly as it would without tenancy.
+	svcName := hdr.Filename
+	if n, err := core.ServiceNameFor(hdr.Filename); err == nil {
+		svcName = n
+	}
+	adm, ok := p.admit(w, pr, tenant.VerbUpload, svcName, tc)
+	if !ok {
+		return
+	}
+	rec, err := p.onserve.UploadAndGenerateCtx(user, hdr.Filename, description, params, content, adm.ParentFor(tc))
 	if err != nil {
+		adm.Finish("", err)
 		jsonError(w, statusFor(err), err)
 		return
 	}
@@ -178,10 +200,12 @@ func (p *Portal) upload(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		if err := p.onserve.SetStageIn(rec.Name, files); err != nil {
+			adm.Finish("", err)
 			jsonError(w, statusFor(err), err)
 			return
 		}
 	}
+	adm.Finish("", nil)
 	writeJSON(w, http.StatusOK, rec)
 }
 
@@ -378,6 +402,10 @@ type statsPayload struct {
 	// Trace is the span ring's occupancy (spans, bytes, evictions);
 	// omitted while tracing is off.
 	Trace *trace.CollectorStats `json:"trace,omitempty"`
+	// Tenant is the multi-tenant control plane's admission counters;
+	// omitted while tenancy is off, so the stock document's bytes are
+	// unchanged.
+	Tenant *tenant.Stats `json:"tenant,omitempty"`
 }
 
 // apiStats serves the monitoring snapshot.
@@ -393,6 +421,10 @@ func (p *Portal) apiStats(w http.ResponseWriter, r *http.Request) {
 	if col := p.onserve.Tracer().Collector(); col != nil {
 		st := col.Stats()
 		payload.Trace = &st
+	}
+	if ctl := p.onserve.Tenancy(); ctl != nil {
+		st := ctl.Stats()
+		payload.Tenant = &st
 	}
 	writeJSON(w, http.StatusOK, payload)
 }
@@ -437,7 +469,11 @@ func (p *Portal) apiService(w http.ResponseWriter, r *http.Request) {
 
 func (p *Portal) apiInvoke(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	pr, ok := p.authenticate(w, tenant.VerbInvoke, r)
+	if !ok {
 		return
 	}
 	p.probe.Burn(p.cost.RequestHandling)
@@ -450,11 +486,28 @@ func (p *Portal) apiInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tc, _ := trace.Parse(r.Header.Get(trace.Header))
-	inv, err := p.onserve.InvokeCtx(req.Service, req.Args, tc)
+	adm, ok := p.admit(w, pr, tenant.VerbInvoke, req.Service, tc)
+	if !ok {
+		return
+	}
+	inv, err := p.onserve.InvokeCtx(req.Service, req.Args, adm.ParentFor(tc))
 	if err != nil {
+		adm.Release()
+		adm.Finish("", err)
 		jsonError(w, statusFor(err), err)
 		return
 	}
+	if adm != nil {
+		// The fair-share slot covers the invocation's whole grid
+		// lifetime, not just the submit: release it when the invocation
+		// reaches a terminal state. One goroutine per admitted
+		// invocation mirrors the stock poller's cost model.
+		go func() {
+			<-inv.DoneChan()
+			adm.Release()
+		}()
+	}
+	adm.Finish(inv.Ticket, nil)
 	writeJSON(w, http.StatusOK, map[string]string{"ticket": inv.Ticket, "job_id": inv.JobID, "site": inv.Site})
 }
 
@@ -499,11 +552,22 @@ func (p *Portal) apiWait(w http.ResponseWriter, r *http.Request) {
 
 func (p *Portal) apiCancel(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	pr, ok := p.authenticate(w, tenant.VerbCancel, r)
+	if !ok {
 		return
 	}
 	p.withInvocation(w, r, func(inv *core.Invocation) {
-		if err := p.onserve.CancelInvocation(inv.Ticket); err != nil {
+		tc, _ := trace.Parse(r.Header.Get(trace.Header))
+		adm, ok := p.admit(w, pr, tenant.VerbCancel, inv.Service, tc)
+		if !ok {
+			return
+		}
+		err := p.onserve.CancelInvocation(inv.Ticket)
+		adm.Finish(inv.Ticket, err)
+		if err != nil {
 			jsonError(w, http.StatusInternalServerError, err)
 			return
 		}
@@ -513,15 +577,80 @@ func (p *Portal) apiCancel(w http.ResponseWriter, r *http.Request) {
 
 func (p *Portal) apiDelete(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	pr, ok := p.authenticate(w, tenant.VerbDelete, r)
+	if !ok {
 		return
 	}
 	name := r.URL.Query().Get("name")
+	tc, _ := trace.Parse(r.Header.Get(trace.Header))
+	adm, ok := p.admit(w, pr, tenant.VerbDelete, name, tc)
+	if !ok {
+		return
+	}
 	if err := p.onserve.DeleteService(name); err != nil {
+		adm.Finish("", err)
 		jsonError(w, statusFor(err), err)
 		return
 	}
+	adm.Finish("", nil)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+// apiAudit serves the control plane's audit ring, newest first
+// (?owner= filters, ?n= bounds, default 50). With tenancy off the
+// path 404s exactly as it did before the subsystem existed.
+func (p *Portal) apiAudit(w http.ResponseWriter, r *http.Request) {
+	ctl := p.onserve.Tenancy()
+	if ctl == nil {
+		http.NotFound(w, r)
+		return
+	}
+	n := 50
+	if s := r.URL.Query().Get("n"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	recs := ctl.Audit(r.URL.Query().Get("owner"), n)
+	if recs == nil {
+		recs = []tenant.Record{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"records": recs, "dropped": ctl.AuditDropped()})
+}
+
+// authenticate resolves the X-Grid-Key header to a principal before
+// any body read. With tenancy off it admits anonymously and touches
+// nothing, keeping the stock wire behaviour byte-identical.
+func (p *Portal) authenticate(w http.ResponseWriter, verb tenant.Verb, r *http.Request) (tenant.Principal, bool) {
+	ctl := p.onserve.Tenancy()
+	if ctl == nil {
+		return tenant.Principal{}, true
+	}
+	pr, err := ctl.Authenticate(r.Header.Get(tenant.KeyHeader), verb)
+	if err != nil {
+		jsonError(w, http.StatusUnauthorized, err)
+		return tenant.Principal{}, false
+	}
+	return pr, true
+}
+
+// admit runs the policy/rate/quota stages. A nil admission with ok ==
+// true means tenancy is off; every Admission method is nil-safe, so
+// handlers call through without branching.
+func (p *Portal) admit(w http.ResponseWriter, pr tenant.Principal, verb tenant.Verb, service string, tc trace.SpanContext) (*tenant.Admission, bool) {
+	ctl := p.onserve.Tenancy()
+	if ctl == nil {
+		return nil, true
+	}
+	adm, err := ctl.Admit(pr, verb, service, tc)
+	if err != nil {
+		jsonError(w, statusFor(err), err)
+		return nil, false
+	}
+	return adm, true
 }
 
 func statusFor(err error) int {
@@ -531,8 +660,46 @@ func statusFor(err error) int {
 	case errors.Is(err, core.ErrBadName), errors.Is(err, core.ErrBadProgram),
 		errors.Is(err, core.ErrNoSuchUser):
 		return http.StatusBadRequest
+	case errors.Is(err, tenant.ErrUnauthorized):
+		return http.StatusUnauthorized
+	case errors.Is(err, tenant.ErrForbidden):
+		return http.StatusForbidden
+	case errors.Is(err, tenant.ErrRateLimited), errors.Is(err, tenant.ErrSaturated):
+		return http.StatusTooManyRequests
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+// errCode classifies an error for the JSON envelope. Machine-readable
+// codes stay stable while error strings evolve; the two 429 classes
+// are distinguished so clients can tell "slow down" (rate_limited,
+// retry after the bucket refills) from "the appliance is saturated"
+// (quota_exceeded, retry after in-flight work drains).
+func errCode(status int, err error) string {
+	switch {
+	case errors.Is(err, tenant.ErrRateLimited):
+		return "rate_limited"
+	case errors.Is(err, tenant.ErrSaturated):
+		return "quota_exceeded"
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusUnauthorized:
+		return "unauthorized"
+	case http.StatusForbidden:
+		return "forbidden"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusMethodNotAllowed:
+		return "method_not_allowed"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusBadGateway:
+		return "bad_gateway"
+	default:
+		return "internal"
 	}
 }
 
@@ -542,6 +709,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// jsonError writes the API error envelope {"error":..., "code":...}.
+// HTML pages (/, /registry, /trace) keep their plain responses; every
+// /api/* and /upload error speaks this envelope, and the fleet
+// gateway passes it through verbatim.
 func jsonError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": errCode(status, err)})
 }

@@ -1,0 +1,70 @@
+package tenant
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzKeyHeader pins that the key-header parser — which runs before
+// authentication on every request — is total: no input panics, and
+// anything it accepts is a bounded, visible-ASCII token that re-parses
+// to itself (so a proxied header survives a second hop unchanged).
+func FuzzKeyHeader(f *testing.F) {
+	f.Add("secret-1")
+	f.Add("Grid secret-1")
+	f.Add("grid\t secret-1 ")
+	f.Add("")
+	f.Add("Grid ")
+	f.Add("two words")
+	f.Add(strings.Repeat("a", maxKeyLen+1))
+	f.Add("caf\xc3\xa9")
+	f.Add("\x00\x01\x02")
+	f.Fuzz(func(t *testing.T, in string) {
+		tok, ok := ParseKeyHeader(in)
+		if !ok {
+			if tok != "" {
+				t.Fatalf("rejected input returned token %q", tok)
+			}
+			return
+		}
+		if len(tok) == 0 || len(tok) > maxKeyLen {
+			t.Fatalf("accepted token length %d out of bounds", len(tok))
+		}
+		for i := 0; i < len(tok); i++ {
+			if tok[i] < '!' || tok[i] > '~' {
+				t.Fatalf("accepted token has invisible byte %#x", tok[i])
+			}
+		}
+		again, ok2 := ParseKeyHeader(tok)
+		if !ok2 || again != tok {
+			t.Fatalf("token %q does not re-parse to itself (%q, %v)", tok, again, ok2)
+		}
+	})
+}
+
+// FuzzPolicyMatch pins that the glob matcher never panics and honours
+// its invariants on adversarial patterns (star floods, mismatched
+// metacharacters, non-UTF8 bytes).
+func FuzzPolicyMatch(f *testing.F) {
+	f.Add("*", "anything")
+	f.Add("Admin*", "AdminPanel")
+	f.Add("a*b*c", "axxbyyc")
+	f.Add("*a*a*a*a*a*", "aaaaaaaaaaaaaaab")
+	f.Add("????", "abc")
+	f.Add("", "")
+	f.Add("\xff*\xfe", "\xff\xfe")
+	f.Fuzz(func(t *testing.T, pattern, name string) {
+		got := Match(pattern, name)
+		if Match("*", name) != true {
+			t.Fatal("star must match everything")
+		}
+		if !strings.ContainsAny(pattern, "*?") {
+			if got != (pattern == name) {
+				t.Fatalf("literal pattern %q vs %q = %v", pattern, name, got)
+			}
+		}
+		if got && !Match("*"+pattern+"*", name) {
+			t.Fatalf("widening %q with stars stopped matching %q", pattern, name)
+		}
+	})
+}

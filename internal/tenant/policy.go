@@ -1,0 +1,112 @@
+package tenant
+
+// Rule matches a (verb, service) pair. An empty Verbs list matches
+// every verb; an empty Services list matches every service. Service
+// patterns are globs: '*' matches any run of characters (including
+// none), '?' matches exactly one.
+type Rule struct {
+	Verbs    []string `json:"verbs,omitempty"`
+	Services []string `json:"services,omitempty"`
+}
+
+// matches reports whether the rule covers verb acting on service.
+func (r Rule) matches(verb Verb, service string) bool {
+	if len(r.Verbs) > 0 {
+		ok := false
+		for _, v := range r.Verbs {
+			if v == string(verb) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(r.Services) == 0 {
+		return true
+	}
+	for _, pat := range r.Services {
+		if Match(pat, service) {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy is one owner's authorization surface. Evaluation is
+// deny-overrides: a matching Deny rule rejects regardless of Allow;
+// with no Deny match, an empty Allow list means "everything" while a
+// non-empty one requires a match. Sites is an allow-list of site-name
+// globs constraining where this owner's services may be placed; empty
+// means any site.
+type Policy struct {
+	Allow []Rule   `json:"allow,omitempty"`
+	Deny  []Rule   `json:"deny,omitempty"`
+	Sites []string `json:"sites,omitempty"`
+}
+
+// Allows evaluates the policy for verb acting on service.
+func (p Policy) Allows(verb Verb, service string) bool {
+	for _, r := range p.Deny {
+		if r.matches(verb, service) {
+			return false
+		}
+	}
+	if len(p.Allow) == 0 {
+		return true
+	}
+	for _, r := range p.Allow {
+		if r.matches(verb, service) {
+			return true
+		}
+	}
+	return false
+}
+
+// SiteAllowed reports whether the policy permits placement on site.
+func (p Policy) SiteAllowed(site string) bool {
+	if len(p.Sites) == 0 {
+		return true
+	}
+	for _, pat := range p.Sites {
+		if Match(pat, site) {
+			return true
+		}
+	}
+	return false
+}
+
+// Match is the glob matcher behind service and site patterns: '*'
+// matches any run (including empty), '?' exactly one byte, everything
+// else literally. The implementation is the classic two-pointer
+// backtracking scan — linear in practice, never recursive, never
+// panics — because it runs on every admission and is fuzzed
+// (FuzzPolicyMatch) against adversarial patterns.
+func Match(pattern, name string) bool {
+	p, n := 0, 0
+	star, mark := -1, 0
+	for n < len(name) {
+		switch {
+		// '*' is a wildcard before it is a literal: a name that itself
+		// contains '*' must still be swallowed by a pattern star.
+		case p < len(pattern) && pattern[p] == '*':
+			star = p
+			mark = n
+			p++
+		case p < len(pattern) && (pattern[p] == '?' || pattern[p] == name[n]):
+			p++
+			n++
+		case star >= 0:
+			p = star + 1
+			mark++
+			n = mark
+		default:
+			return false
+		}
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}

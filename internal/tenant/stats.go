@@ -1,0 +1,72 @@
+package tenant
+
+// OwnerStats is one tenant's admission counters and gauges. Counters
+// are monotonic; InFlight and QueueDepth are instantaneous gauges.
+type OwnerStats struct {
+	Admitted     uint64 `json:"admitted"`
+	Denied       uint64 `json:"denied"`
+	RateLimited  uint64 `json:"rate_limited"`
+	Queued       uint64 `json:"queued"`
+	AuditDropped uint64 `json:"audit_dropped"`
+	InFlight     int    `json:"in_flight"`
+	QueueDepth   int    `json:"queue_depth"`
+}
+
+// Stats is the control plane's observability block, surfaced under
+// "tenant" in /api/stats and scatter-gathered by the fleet gateway.
+type Stats struct {
+	Keys         int    `json:"keys"`
+	Admitted     uint64 `json:"admitted"`
+	Denied       uint64 `json:"denied"`
+	RateLimited  uint64 `json:"rate_limited"`
+	Queued       uint64 `json:"queued"`
+	AuditDropped uint64 `json:"audit_dropped"`
+	// AuditRecords counts records appended over the controller's
+	// lifetime (the ring may hold fewer).
+	AuditRecords uint64                `json:"audit_records"`
+	InFlight     int                   `json:"in_flight"`
+	QueueDepth   int                   `json:"queue_depth"`
+	Owners       map[string]OwnerStats `json:"owners,omitempty"`
+}
+
+// Merge folds src into s the way the fleet gateway aggregates shard
+// documents: counters sum (each shard admitted its own share), gauges
+// take the max (summing instantaneous depths across shards would
+// overstate pressure on any one appliance; max reports the hottest
+// shard). Keys takes the max too — every shard loads the same keys
+// file, so summing would multiply-count the fleet's keyspace.
+func (s *Stats) Merge(src Stats) {
+	if src.Keys > s.Keys {
+		s.Keys = src.Keys
+	}
+	s.Admitted += src.Admitted
+	s.Denied += src.Denied
+	s.RateLimited += src.RateLimited
+	s.Queued += src.Queued
+	s.AuditDropped += src.AuditDropped
+	s.AuditRecords += src.AuditRecords
+	if src.InFlight > s.InFlight {
+		s.InFlight = src.InFlight
+	}
+	if src.QueueDepth > s.QueueDepth {
+		s.QueueDepth = src.QueueDepth
+	}
+	if len(src.Owners) > 0 && s.Owners == nil {
+		s.Owners = make(map[string]OwnerStats, len(src.Owners))
+	}
+	for name, o := range src.Owners {
+		m := s.Owners[name]
+		m.Admitted += o.Admitted
+		m.Denied += o.Denied
+		m.RateLimited += o.RateLimited
+		m.Queued += o.Queued
+		m.AuditDropped += o.AuditDropped
+		if o.InFlight > m.InFlight {
+			m.InFlight = o.InFlight
+		}
+		if o.QueueDepth > m.QueueDepth {
+			m.QueueDepth = o.QueueDepth
+		}
+		s.Owners[name] = m
+	}
+}

@@ -32,7 +32,16 @@ go test -race -short ./...
 # gateway (concurrent bursts racing a mid-burst appliance kill and
 # rejoin: health FSM transitions fed by probes and proxies at once,
 # the replicated UDDI view written by peer pushes while resolves read
-# it) are the concurrency hot spots: run their packages fresh
+# it), and the tenant control plane (concurrent admits racing quota
+# release, key rotation mid-burst, DRR wakeups racing timeouts) are
+# the concurrency hot spots: run their packages fresh
 # (-count=1 defeats the test cache) so cached "ok" lines can never
 # mask a newly introduced race.
-go test -race -count=1 ./internal/core ./internal/blobdb ./internal/cyberaide ./internal/gram ./internal/gridsim ./internal/gridftp ./internal/netsim ./internal/portal ./internal/soap ./internal/trace ./internal/gateway
+go test -race -count=1 ./internal/core ./internal/blobdb ./internal/cyberaide ./internal/gram ./internal/gridsim ./internal/gridftp ./internal/netsim ./internal/portal ./internal/soap ./internal/trace ./internal/gateway ./internal/tenant
+
+# Fuzzers run their seed corpora as regular tests, but exercise the
+# mutation engine briefly too: the admission edge parses attacker
+# bytes (the key header) and evaluates attacker patterns (policy
+# globs), so both must never panic.
+go test -run='^$' -fuzz=FuzzKeyHeader -fuzztime=5s ./internal/tenant
+go test -run='^$' -fuzz=FuzzPolicyMatch -fuzztime=5s ./internal/tenant
